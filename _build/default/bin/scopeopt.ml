@@ -1,0 +1,240 @@
+(* scopeopt: command-line driver for the CSE-aware SCOPE-like optimizer.
+
+   Subcommands:
+     parse     - parse a script and print its AST
+     explain   - print the logical DAG and the memo with shared groups
+     optimize  - run both optimizers and print plans, costs and statistics
+     run       - optimize, execute on the simulated cluster, show outputs
+     workload  - print a built-in workload script (S1-S4, LS1, LS2)
+
+   Scripts are read from a file argument or from one of the built-in
+   workloads via --builtin. *)
+
+open Cmdliner
+
+let read_script file builtin =
+  match (file, builtin) with
+  | Some f, None ->
+      let ic = open_in f in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+  | None, Some name -> (
+      match
+        List.assoc_opt (String.uppercase_ascii name)
+          (Sworkload.Paper_scripts.all
+          @ [
+              ("LS1", Sworkload.Large_gen.ls1 ());
+              ("LS2", Sworkload.Large_gen.ls2 ());
+              ("IND", Sworkload.Paper_scripts.independent_pair);
+            ])
+      with
+      | Some s -> Ok s
+      | None -> Error (`Msg (Printf.sprintf "unknown builtin workload %S" name)))
+  | Some _, Some _ -> Error (`Msg "give either a file or --builtin, not both")
+  | None, None -> Error (`Msg "give a script file or --builtin NAME")
+
+let make_catalog script =
+  let catalog = Relalg.Catalog.default () in
+  Sworkload.Large_gen.register_files catalog script;
+  catalog
+
+(* --- common arguments -------------------------------------------------- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file.")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "builtin"; "b" ] ~docv:"NAME"
+        ~doc:"Built-in workload: S1, S2, S3, S4, IND, LS1 or LS2.")
+
+let machines_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "machines"; "m" ] ~docv:"N" ~doc:"Simulated cluster size.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"SECONDS" ~doc:"Optimization time budget.")
+
+let no_ext_arg =
+  Arg.(
+    value & flag
+    & info [ "no-extensions" ]
+        ~doc:"Disable the Section VIII large-script extensions.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"PREFIX"
+        ~doc:
+          "Write Graphviz renderings of both plans to \
+           $(docv)-conventional.dot and $(docv)-cse.dot.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ]
+        ~doc:"Log re-optimization rounds and phase summaries to stderr.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let with_script f =
+  Term.(
+    const (fun file builtin -> Result.bind (read_script file builtin) f)
+    $ file_arg $ builtin_arg)
+
+(* --- parse ------------------------------------------------------------- *)
+
+let parse_cmd =
+  let run file builtin =
+    Result.bind (read_script file builtin) (fun script ->
+        match Slang.Parser.parse_script script with
+        | ast ->
+            Fmt.pr "%a@." Slang.Ast.pp ast;
+            Ok ()
+        | exception Slang.Parser.Error (msg, _) -> Error (`Msg msg)
+        | exception Slang.Lexer.Error (msg, _) -> Error (`Msg msg))
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a script and print the AST")
+    Term.(term_result (const run $ file_arg $ builtin_arg))
+
+(* --- explain ----------------------------------------------------------- *)
+
+let explain_cmd =
+  let f script =
+    let catalog = make_catalog script in
+    let ast = Slang.Parser.parse_script script in
+    let dag = Slogical.Binder.bind ~catalog ast in
+    Fmt.pr "=== logical operator DAG (%d operators) ===@.%a@."
+      (Slogical.Dag.size dag) Slogical.Dag.pp dag;
+    let memo = Smemo.Memo.of_dag ~catalog ~machines:25 dag in
+    let shared = Cse.Spool.identify memo in
+    Fmt.pr "=== memo after Algorithm 1 ===@.%a@." Smemo.Memo.pp memo;
+    Fmt.pr "shared groups:@.";
+    List.iter
+      (fun (s : Cse.Spool.shared) ->
+        Fmt.pr "  spool %d over group %d, %d consumers@." s.Cse.Spool.spool
+          s.Cse.Spool.under s.Cse.Spool.initial_consumers)
+      shared;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Print the logical DAG and the memo")
+    Term.(term_result (with_script f))
+
+(* --- optimize ---------------------------------------------------------- *)
+
+let optimize run_exec =
+  let f machines budget no_ext verbose dot script =
+    setup_logs verbose;
+    let catalog = make_catalog script in
+    let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
+    let config =
+      if no_ext then Cse.Config.no_extensions else Cse.Config.default
+    in
+    let budget = Option.map (fun s -> Sopt.Budget.create ~max_seconds:s ()) budget in
+    let r = Cse.Pipeline.run ~config ?budget ~cluster ~catalog script in
+    Fmt.pr "=== conventional plan (estimated cost %.5g; %.3f s) ===@.%a@."
+      r.Cse.Pipeline.conventional_cost r.Cse.Pipeline.conventional_time
+      Sphys.Plan_pp.pp r.Cse.Pipeline.conventional_plan;
+    Fmt.pr
+      "=== CSE plan (estimated cost %.5g; %.3f s; %d rounds over %d shared \
+       groups) ===@.%a@."
+      r.Cse.Pipeline.cse_cost r.Cse.Pipeline.cse_time
+      r.Cse.Pipeline.rounds_executed
+      (List.length r.Cse.Pipeline.shared)
+      Sphys.Plan_pp.pp r.Cse.Pipeline.cse_plan;
+    Fmt.pr "cost ratio %.1f%% (a reduction of %.1f%%)@.@."
+      (100.0 *. Cse.Pipeline.ratio r)
+      (Cse.Pipeline.reduction_percent r);
+    Fmt.pr "%a" Cse.Pipeline.pp_steps r;
+    Option.iter
+      (fun prefix ->
+        let write suffix plan =
+          let file = prefix ^ "-" ^ suffix ^ ".dot" in
+          let oc = open_out file in
+          output_string oc (Sphys.Plan_pp.to_dot ~name:suffix plan);
+          close_out oc;
+          Fmt.pr "wrote %s@." file
+        in
+        write "conventional" r.Cse.Pipeline.conventional_plan;
+        write "cse" r.Cse.Pipeline.cse_plan)
+      dot;
+    if run_exec then begin
+      let v =
+        Sexec.Validate.check ~verify_props:true ~machines catalog
+          r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+      in
+      Fmt.pr
+        "execution: results %s; %d rows shuffled, %d rows extracted, shared \
+         results materialized %d time(s), read %d time(s)@."
+        (if v.Sexec.Validate.ok then
+           "match the reference (delivered properties verified)"
+         else "MISMATCH")
+        v.Sexec.Validate.counters.Sexec.Engine.rows_shuffled
+        v.Sexec.Validate.counters.Sexec.Engine.rows_extracted
+        v.Sexec.Validate.counters.Sexec.Engine.spool_executions
+        v.Sexec.Validate.counters.Sexec.Engine.spool_reads;
+      List.iter (fun m -> Fmt.pr "  %s@." m) v.Sexec.Validate.mismatches
+    end;
+    Ok ()
+  in
+  Term.(
+    term_result
+      (const (fun m b e v d file builtin ->
+           Result.bind (read_script file builtin) (f m b e v d))
+      $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ dot_arg
+      $ file_arg $ builtin_arg))
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Optimize a script with and without the CSE framework")
+    (optimize false)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Optimize and execute on the simulated cluster, validating results")
+    (optimize true)
+
+(* --- workload ---------------------------------------------------------- *)
+
+let workload_cmd =
+  let run name =
+    match read_script None (Some name) with
+    | Ok s ->
+        print_string s;
+        Ok ()
+    | Error e -> Error e
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Print a built-in workload script")
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            required
+            & pos 0 (some string) None
+            & info [] ~docv:"NAME" ~doc:"S1, S2, S3, S4, IND, LS1 or LS2.")))
+
+let main =
+  Cmd.group
+    (Cmd.info "scopeopt" ~version:"1.0.0"
+       ~doc:
+         "Cost-based common-subexpression optimization for cloud query \
+          processing (ICDE 2012 reproduction)")
+    [ parse_cmd; explain_cmd; optimize_cmd; run_cmd; workload_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/large_script.ml: Cse Fmt List Relalg Sopt String Sworkload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cse Fmt Relalg Sexec Sphys

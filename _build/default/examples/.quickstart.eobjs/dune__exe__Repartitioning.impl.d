@@ -1,0 +1,1 @@
+examples/repartitioning.ml: Array Catalog Colset Fmt Hashtbl List Printf Relalg Schema Sexec String Value

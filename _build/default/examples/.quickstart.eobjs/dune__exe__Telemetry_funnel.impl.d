@@ -1,0 +1,1 @@
+examples/telemetry_funnel.ml: Array Cse Fmt List Printf Relalg Sexec Sphys String

@@ -1,0 +1,1 @@
+examples/weblog_sessions.ml: Array Cse Fmt List Printf Relalg Sexec Sphys String

@@ -1,0 +1,1 @@
+examples/weblog_sessions.mli:

@@ -1,0 +1,1 @@
+lib/core/fingerprint.ml: Hashtbl List Slogical Smemo

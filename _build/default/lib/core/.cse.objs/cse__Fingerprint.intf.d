@@ -1,0 +1,1 @@
+lib/core/fingerprint.mli: Hashtbl Slogical Smemo

@@ -1,0 +1,1 @@
+lib/core/history.ml: Config Hashtbl Int List Partition Plan Props Relalg Reqprops Sortorder Sphys Sutil

@@ -1,0 +1,1 @@
+lib/core/independent.ml: Hashtbl Int List Option Shared_info Smemo

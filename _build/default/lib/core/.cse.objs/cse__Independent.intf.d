@@ -1,0 +1,1 @@
+lib/core/independent.mli: Shared_info Smemo

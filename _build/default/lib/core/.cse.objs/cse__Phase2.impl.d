@@ -1,0 +1,1 @@
+lib/core/phase2.ml: Budget Config Enforcers Extreq Fmt Hashtbl History Independent Int List Logs Optimizer Plan Plan_check Rank Reqprops Rounds Shared_info Smemo Sopt Sphys String

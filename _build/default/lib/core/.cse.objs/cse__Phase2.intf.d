@@ -1,0 +1,1 @@
+lib/core/phase2.mli: Config History Scost Shared_info Smemo Sopt Sphys

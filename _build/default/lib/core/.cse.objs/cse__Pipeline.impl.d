@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Config Float Fmt History List Option Phase2 Plan Relalg Scost Shared_info Slang Slogical Smemo Sopt Sphys Spool String Unix

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Fmt Relalg Scost Shared_info Slogical Smemo Sopt Sphys Spool

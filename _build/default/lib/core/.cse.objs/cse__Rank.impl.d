@@ -1,0 +1,1 @@
+lib/core/rank.ml: Float List Scost Shared_info Slogical Smemo

@@ -1,0 +1,1 @@
+lib/core/rank.mli: Scost Shared_info Smemo

@@ -1,0 +1,1 @@
+lib/core/rounds.ml: Array List Reqprops Sphys

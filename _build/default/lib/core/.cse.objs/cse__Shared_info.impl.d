@@ -1,0 +1,1 @@
+lib/core/shared_info.ml: Array Fmt Hashtbl Int List Option Smemo String

@@ -1,0 +1,1 @@
+lib/core/shared_info.mli: Fmt Hashtbl Smemo

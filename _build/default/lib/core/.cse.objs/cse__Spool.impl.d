@@ -1,0 +1,1 @@
+lib/core/spool.ml: Array Config Fingerprint Hashtbl Int List Option Slogical Smemo

@@ -1,0 +1,1 @@
+lib/core/spool.mli: Config Smemo

@@ -1,0 +1,37 @@
+(* Configuration of the CSE optimization framework.  The three [use_*]
+   flags correspond to the Section VIII extensions for large scripts and
+   can be toggled independently for the ablation benchmarks. *)
+
+type t = {
+  use_fingerprints : bool;
+      (* merge structurally equal subexpressions (Algorithm 1, lines 2-11);
+         explicit sharing is always detected *)
+  use_independent_groups : bool; (* Section VIII-A *)
+  use_group_ranking : bool; (* Section VIII-B *)
+  use_property_ranking : bool; (* Section VIII-C *)
+  subset_expansion_cap : int;
+      (* partitioning ranges over more columns than this are expanded to
+         the full set, singletons and pairs instead of all subsets
+         (Section V expansion, bounded for wide keys) *)
+  max_properties_per_group : int option;
+      (* optional cap on the per-shared-group history used for rounds *)
+}
+
+let default =
+  {
+    use_fingerprints = true;
+    use_independent_groups = true;
+    use_group_ranking = true;
+    use_property_ranking = true;
+    subset_expansion_cap = 4;
+    max_properties_per_group = None;
+  }
+
+(* Base framework with every large-script extension disabled. *)
+let no_extensions =
+  {
+    default with
+    use_independent_groups = false;
+    use_group_ranking = false;
+    use_property_ranking = false;
+  }

@@ -1,0 +1,22 @@
+(** Configuration of the CSE optimization framework; the [use_*] flags gate
+    the Section VIII large-script extensions for ablation. *)
+
+type t = {
+  use_fingerprints : bool;
+      (** merge structurally equal subexpressions (Algorithm 1, lines
+          2-11); explicit sharing is always detected *)
+  use_independent_groups : bool;  (** Section VIII-A *)
+  use_group_ranking : bool;  (** Section VIII-B *)
+  use_property_ranking : bool;  (** Section VIII-C *)
+  subset_expansion_cap : int;
+      (** ranges over more columns than this expand to full set +
+          singletons + adjacent pairs instead of all subsets *)
+  max_properties_per_group : int option;
+      (** optional cap on the per-shared-group history used for rounds *)
+}
+
+(** Everything on; expansion cap 4; no property cap. *)
+val default : t
+
+(** The base framework with all Section VIII extensions disabled. *)
+val no_extensions : t

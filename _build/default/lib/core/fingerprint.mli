@@ -1,0 +1,24 @@
+(** Expression fingerprints (Section IV, Definition 1):
+
+    {v
+F(E) = FileID mod N                          if E reads a file
+F(E) = (OpID xor (xor_i F(child_i))) mod N   otherwise
+    v}
+
+    As in the paper, [OpID] identifies only the operator kind, so equal
+    fingerprints are necessary-but-not-sufficient and colliding candidates
+    are verified structurally (Algorithm 1, line 5). *)
+
+(** The prime modulus [N] (2^61 - 1). *)
+val modulus : int
+
+val file_id : string -> int
+val op_id : Slogical.Logop.t -> int
+
+(** Fingerprints of every reachable group, computed bottom-up from each
+    group's single initial expression. *)
+val of_memo : Smemo.Memo.t -> (int, int) Hashtbl.t
+
+(** Structural equality of two memo subexpressions (operators compared
+    with full parameters, children recursively). *)
+val equal_subexpr : Smemo.Memo.t -> int -> int -> bool

@@ -1,0 +1,97 @@
+open Sphys
+
+(* Section V: recording the physical properties requested at shared groups
+   during phase 1.
+
+   A recorded partitioning *range* [∅, C] is expanded into one entry per
+   concrete subset (the paper's example expands [∅,{A,B,C}] into its seven
+   non-empty subsets), bounded for wide column sets.  Each entry also
+   carries a frequency counter (Section VIII-C): the number of times the
+   entry described the best local plan found in phase 1. *)
+
+type entry = { props : Reqprops.t; mutable freq : int }
+
+type t = {
+  config : Config.t;
+  (* shared group id -> recorded entries, in first-recorded order *)
+  table : (int, entry list ref) Hashtbl.t;
+}
+
+let create config = { table = Hashtbl.create 8; config }
+
+let entries t gid =
+  match Hashtbl.find_opt t.table gid with Some l -> !l | None -> []
+
+(* Concrete partition sets for a range requirement, mirroring the enforcer
+   candidates so that every recorded entry is actually plannable. *)
+let expand_sets config (c : Relalg.Colset.t) =
+  if Relalg.Colset.cardinal c <= config.Config.subset_expansion_cap then
+    Relalg.Colset.nonempty_subsets c
+  else
+    let cols = Relalg.Colset.to_list c in
+    let singletons = List.map Relalg.Colset.singleton cols in
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> Relalg.Colset.of_list [ a; b ] :: pairs rest
+      | _ -> []
+    in
+    c :: (singletons @ pairs cols)
+
+let expand config (req : Reqprops.t) : Reqprops.t list =
+  match req.Reqprops.part with
+  | Reqprops.Hash_subset c ->
+      List.map
+        (fun s -> Reqprops.make (Reqprops.Hash_exact s) req.Reqprops.sort)
+        (expand_sets config c)
+  | Reqprops.Any | Reqprops.Serial_req | Reqprops.Hash_exact _ -> [ req ]
+
+(* Record one phase-1 request at a shared group. *)
+let record t gid (req : Reqprops.t) =
+  let slot =
+    match Hashtbl.find_opt t.table gid with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace t.table gid l;
+        l
+  in
+  List.iter
+    (fun props ->
+      if not (List.exists (fun e -> Reqprops.equal e.props props) !slot) then
+        slot := !slot @ [ { props; freq = 0 } ])
+    (expand t.config req)
+
+(* Section VIII-C: credit the entries matched by the properties a phase-1
+   best plan actually delivered. *)
+let note_best t gid (plan : Plan.t option) =
+  match (plan, Hashtbl.find_opt t.table gid) with
+  | Some p, Some slot ->
+      let delivered = p.Plan.props in
+      List.iter
+        (fun e ->
+          let part_match =
+            match (e.props.Reqprops.part, delivered.Props.part) with
+            | Reqprops.Hash_exact s, Partition.Hashed d -> Relalg.Colset.equal s d
+            | Reqprops.Any, Partition.Roundrobin -> true
+            | Reqprops.Serial_req, Partition.Serial -> true
+            | _ -> false
+          in
+          if
+            part_match
+            && Sortorder.prefix e.props.Reqprops.sort delivered.Props.sort
+          then e.freq <- e.freq + 1)
+        !slot
+  | _ -> ()
+
+(* Property sets of a shared group for round generation, best-ranked first
+   when VIII-C is enabled, capped when configured. *)
+let ranked_properties t gid : Reqprops.t list =
+  let es = entries t gid in
+  let es =
+    if t.config.Config.use_property_ranking then
+      List.stable_sort (fun a b -> Int.compare b.freq a.freq) es
+    else es
+  in
+  let props = List.map (fun e -> e.props) es in
+  match t.config.Config.max_properties_per_group with
+  | Some cap -> Sutil.Combi.take cap props
+  | None -> props

@@ -1,0 +1,30 @@
+(** Section V: the property history of shared groups.
+
+    Every phase-1 request at a shared group is recorded; a partitioning
+    {e range} [∅, C] is expanded into one entry per concrete subset (the
+    paper expands [∅,\{A,B,C\}] into its seven non-empty subsets), bounded
+    for wide column sets. Entries carry a frequency counter (Section
+    VIII-C): how often they described a best local plan in phase 1. *)
+
+type entry = { props : Sphys.Reqprops.t; mutable freq : int }
+
+type t
+
+val create : Config.t -> t
+
+(** Recorded entries of a shared group, in first-recorded order. *)
+val entries : t -> int -> entry list
+
+(** Expansion of one requirement into concrete enforceable entries. *)
+val expand : Config.t -> Sphys.Reqprops.t -> Sphys.Reqprops.t list
+
+(** Record one phase-1 request (expanded, deduplicated). *)
+val record : t -> int -> Sphys.Reqprops.t -> unit
+
+(** Credit the entries matched by a phase-1 winner's delivered
+    properties. *)
+val note_best : t -> int -> Sphys.Plan.t option -> unit
+
+(** Property sets for round generation: best-ranked first when VIII-C is
+    enabled, capped when configured. *)
+val ranked_properties : t -> int -> Sphys.Reqprops.t list

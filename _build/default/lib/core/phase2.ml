@@ -1,0 +1,264 @@
+open Sphys
+open Sopt
+
+(* The re-optimization framework (Algorithms 4 and 5), realized as an
+   extension of the generic optimization engine:
+
+   - phase 1 records the property history of shared groups (Section V)
+     through [before_optimize]/[after_winner];
+   - [child_extreq] propagates the enforcement map downwards, pruned to
+     paths that still lead to one of the enforced shared groups
+     (Algorithm 5, lines 15-17);
+   - [intercept] implements the two special cases of Algorithm 4:
+       * at a shared group with a pinned property set, the base plan is
+         optimized once under the pinned properties (so every consumer
+         shares the identical materialization) and per-consumer enforcers
+         are layered on top when the consumer needs more (e.g. the
+         Sort(C,B) above the spool in Figure 8(b));
+       * at an LCA, one re-optimization round per property combination is
+         executed and the cheapest result kept (Section VIII controls how
+         combinations are enumerated). *)
+
+let log_src = Logs.Src.create "scopecse.phase2" ~doc:"CSE re-optimization"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type state = {
+  config : Config.t;
+  history : History.t;
+  mutable si : Shared_info.t option;
+  mutable rounds_executed : int;
+  mutable rounds_naive : int; (* full-product round count, for ablations *)
+  mutable rounds_sequential : int; (* VIII-A round count *)
+  mutable lca_sites : int;
+}
+
+let create config =
+  {
+    config;
+    history = History.create config;
+    si = None;
+    rounds_executed = 0;
+    rounds_naive = 0;
+    rounds_sequential = 0;
+    lca_sites = 0;
+  }
+
+let shared_info state =
+  match state.si with
+  | Some si -> si
+  | None -> invalid_arg "Phase2: shared info not computed yet"
+
+(* --- hook implementations --------------------------------------------- *)
+
+let before_optimize state (t : Optimizer.t) (g : Smemo.Memo.group) extreq =
+  if t.Optimizer.phase = 1 && g.Smemo.Memo.shared then
+    History.record state.history g.Smemo.Memo.id extreq.Extreq.req
+
+let after_winner state (t : Optimizer.t) (g : Smemo.Memo.group) _extreq plan =
+  if t.Optimizer.phase = 1 && g.Smemo.Memo.shared then
+    History.note_best state.history g.Smemo.Memo.id plan
+
+let child_extreq state (t : Optimizer.t) ~(child : Smemo.Memo.group) creq
+    (parent : Extreq.t) =
+  if t.Optimizer.phase <> 2 || parent.Extreq.enforce = [] then Extreq.plain creq
+  else begin
+    let si = shared_info state in
+    let cid = child.Smemo.Memo.id in
+    let enforce =
+      (* prune to paths that still lead to an enforced shared group; keep
+         everything for groups unknown to the (pre-phase-2) analysis *)
+      if Hashtbl.mem si.Shared_info.info cid then
+        let below = Shared_info.shared_below si cid in
+        List.filter (fun (gid, _) -> List.mem gid below) parent.Extreq.enforce
+      else parent.Extreq.enforce
+    in
+    { Extreq.req = creq; enforce }
+  end
+
+(* Per-consumer compensation above a pinned shared plan: layer enforcers
+   until the consumer's original requirement is satisfied. *)
+let rec compensate (t : Optimizer.t) (g : Smemo.Memo.group)
+    (req : Reqprops.t) (base : Plan.t) : Plan.t option =
+  if Reqprops.satisfied base.Plan.props req then Some base
+  else
+    let candidates =
+      List.filter_map
+        (fun (alt : Enforcers.alt) ->
+          match compensate t g alt.Enforcers.inner base with
+          | None -> None
+          | Some inner ->
+              let node = Optimizer.mk_plan t g alt.Enforcers.op [ inner ] in
+              if
+                Plan_check.check_op node = []
+                && Reqprops.satisfied node.Plan.props req
+              then Some node
+              else None)
+        (Enforcers.alternatives req)
+    in
+    Optimizer.cheapest t candidates
+
+(* Algorithm 4, lines 4-12: all re-optimization rounds at an LCA. *)
+let run_rounds state (t : Optimizer.t) (g : Smemo.Memo.group)
+    (extreq : Extreq.t) (to_assign : int list) ~log_phys_opt =
+  state.lca_sites <- state.lca_sites + 1;
+  let si = shared_info state in
+  let ordered =
+    if state.config.Config.use_group_ranking then
+      Rank.order t.Optimizer.cluster t.Optimizer.memo si to_assign
+    else to_assign
+  in
+  let classes =
+    if state.config.Config.use_independent_groups then begin
+      let cls =
+        Independent.classes si t.Optimizer.memo ~l:g.Smemo.Memo.id ordered
+      in
+      (* order class members and the classes themselves by [ordered] *)
+      let pos s =
+        let rec idx i = function
+          | [] -> max_int
+          | x :: rest -> if x = s then i else idx (i + 1) rest
+        in
+        idx 0 ordered
+      in
+      List.map
+        (fun members ->
+          List.stable_sort (fun a b -> Int.compare (pos a) (pos b)) members)
+        cls
+      |> List.stable_sort (fun a b ->
+             Int.compare (pos (List.hd a)) (pos (List.hd b)))
+    end
+    else [ ordered ]
+  in
+  let with_props =
+    List.map
+      (List.map (fun s -> (s, History.ranked_properties state.history s)))
+      classes
+  in
+  state.rounds_naive <- state.rounds_naive + Rounds.naive_total with_props;
+  state.rounds_sequential <-
+    state.rounds_sequential + Rounds.sequential_total with_props;
+  let gen = Rounds.create with_props in
+  let candidates = ref [] in
+  (* the plan without any enforcement (the phase-1 shape) also competes *)
+  (match log_phys_opt g extreq with
+  | Some p -> candidates := [ p ]
+  | None -> ());
+  let continue_ = ref true in
+  while !continue_ do
+    if Budget.exhausted t.Optimizer.budget then continue_ := false
+    else
+      match Rounds.next gen with
+      | None -> continue_ := false
+      | Some assignment -> (
+          Budget.note_round_executed t.Optimizer.budget;
+          state.rounds_executed <- state.rounds_executed + 1;
+          let ext' =
+            Extreq.normalize
+              { extreq with Extreq.enforce = extreq.Extreq.enforce @ assignment }
+          in
+          match log_phys_opt g ext' with
+          | Some p ->
+              let cost = Optimizer.plan_cost t p in
+              Log.debug (fun m ->
+                  m "round %d at LCA %d: {%s} -> cost %.6g"
+                    (Rounds.generated gen) g.Smemo.Memo.id
+                    (String.concat "; "
+                       (List.map
+                          (fun (s, props) ->
+                            Fmt.str "%d ↦ %a" s Sphys.Reqprops.pp props)
+                          assignment))
+                    cost);
+              Rounds.report gen ~cost;
+              candidates := p :: !candidates
+          | None ->
+              Log.debug (fun m ->
+                  m "round %d at LCA %d: infeasible assignment"
+                    (Rounds.generated gen) g.Smemo.Memo.id);
+              Rounds.report gen ~cost:infinity)
+  done;
+  Optimizer.cheapest t !candidates
+
+let intercept state (t : Optimizer.t) (g : Smemo.Memo.group)
+    (extreq : Extreq.t) ~self ~log_phys_opt =
+  if t.Optimizer.phase <> 2 then None
+  else
+    match
+      (g.Smemo.Memo.shared, Extreq.enforcement extreq g.Smemo.Memo.id)
+    with
+    | true, Some pinned ->
+        (* pinned shared group: one base plan under the enforced
+           properties, shared by every consumer; per-consumer enforcers on
+           top when the original requirement asks for more *)
+        let inner =
+          Extreq.normalize
+            {
+              Extreq.req = pinned;
+              enforce =
+                List.filter
+                  (fun (gid, _) -> gid <> g.Smemo.Memo.id)
+                  extreq.Extreq.enforce;
+            }
+        in
+        Some
+          (match self g inner with
+          | None -> None
+          | Some base -> compensate t g extreq.Extreq.req base)
+    | _ ->
+        let si = shared_info state in
+        let lcas = Shared_info.lca_groups si g.Smemo.Memo.id in
+        let to_assign =
+          List.filter
+            (fun s ->
+              Extreq.enforcement extreq s = None
+              && History.entries state.history s <> [])
+            lcas
+        in
+        if to_assign = [] then None
+        else Some (run_rounds state t g extreq to_assign ~log_phys_opt)
+
+let make_ext state : Optimizer.ext =
+  {
+    Optimizer.before_optimize = before_optimize state;
+    child_extreq = child_extreq state;
+    intercept = intercept state;
+    after_winner = after_winner state;
+  }
+
+(* --- the full two-phase optimization of a memo with spools ------------ *)
+
+type outcome = {
+  plan : Plan.t option;
+  phase1_plan : Plan.t option;
+  state : state;
+  budget : Budget.t;
+}
+
+let optimize ?(config = Config.default) ?budget ~cluster
+    (memo : Smemo.Memo.t) : outcome =
+  let state = create config in
+  let t = Optimizer.create ?budget ~ext:(make_ext state) ~cluster memo in
+  t.Optimizer.phase <- 1;
+  let p1 = Optimizer.optimize_root t in
+  (* Step 3: propagate shared-group info and identify LCAs *)
+  let si = Shared_info.compute memo in
+  state.si <- Some si;
+  Log.info (fun m ->
+      m "phase 1 done (%d tasks); LCAs: %s" t.Optimizer.budget.Budget.tasks
+        (String.concat ", "
+           (Hashtbl.fold
+              (fun s l acc -> Fmt.str "%d->%d" s l :: acc)
+              si.Shared_info.lca [])));
+  t.Optimizer.phase <- 2;
+  let p2 = Optimizer.optimize_root t in
+  Log.info (fun m ->
+      m "phase 2 done: %d rounds executed at %d LCA sites"
+        state.rounds_executed state.lca_sites);
+  let best =
+    match (p1, p2) with
+    | Some a, Some b ->
+        Some (if Optimizer.plan_cost t b <= Optimizer.plan_cost t a then b else a)
+    | Some a, None -> Some a
+    | None, b -> b
+  in
+  { plan = best; phase1_plan = p1; state; budget = t.Optimizer.budget }

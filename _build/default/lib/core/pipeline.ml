@@ -1,0 +1,151 @@
+open Sphys
+
+(* End-to-end facade: script text in, optimized plans out.
+
+   Runs both optimizers over the same script, catalog and cluster:
+   - *conventional*: the unmodified engine on a spool-free memo; a shared
+     relation is optimized per consumer requirement and the final plan
+     executes it once per consumer (Figure 8(a));
+   - *CSE*: Algorithm 1 spool insertion, phase 1 with history recording,
+     Algorithm 3, and the phase-2 re-optimization (Figure 8(b)). *)
+
+type report = {
+  script : string;
+  dag : Slogical.Dag.t;
+  (* conventional optimization *)
+  conventional_plan : Plan.t;
+  conventional_cost : float;
+  conventional_time : float;
+  conventional_tasks : int;
+  (* CSE optimization *)
+  cse_plan : Plan.t;
+  cse_cost : float;
+  cse_time : float;
+  cse_tasks : int;
+  phase1_plan : Plan.t;
+  memo : Smemo.Memo.t;
+  shared : Spool.shared list;
+  lcas : (int * int) list; (* shared group -> LCA group *)
+  rounds_executed : int;
+  rounds_naive : int;
+  rounds_sequential : int;
+  history_sizes : (int * int) list; (* shared group -> #property sets *)
+  shared_info : Shared_info.t;
+}
+
+(* Narrative of the four optimization steps (Figure 2 of the paper), for
+   the CLI's explain output and for humans reading test failures. *)
+let pp_steps ppf (r : report) =
+  Fmt.pf ppf "Step 1 — identify common subexpressions (Algorithm 1):@.";
+  if r.shared = [] then Fmt.pf ppf "  none found; phase 2 is a no-op@."
+  else
+    List.iter
+      (fun (s : Spool.shared) ->
+        Fmt.pf ppf "  spool group %d over group %d, %d consumers@."
+          s.Spool.spool s.Spool.under s.Spool.initial_consumers)
+      r.shared;
+  Fmt.pf ppf "Step 2 — phase-1 property history (Section V):@.";
+  List.iter
+    (fun (g, n) -> Fmt.pf ppf "  shared group %d: %d property sets@." g n)
+    r.history_sizes;
+  Fmt.pf ppf "Step 3 — shared-group propagation and LCAs (Algorithm 3):@.";
+  List.iter
+    (fun (s, l) ->
+      Fmt.pf ppf "  shared group %d: consumers {%s}, LCA = group %d%s@." s
+        (String.concat ","
+           (List.map string_of_int (Shared_info.consumers r.shared_info s)))
+        l
+        (if l = r.memo.Smemo.Memo.root then " (the root)" else ""))
+    r.lcas;
+  Fmt.pf ppf
+    "Step 4 — re-optimization with enforcement (Algorithms 4-5): %d rounds \
+     executed (full product: %d; VIII-A sequential: %d)@."
+    r.rounds_executed r.rounds_naive r.rounds_sequential;
+  Fmt.pf ppf "result: estimated cost %.5g -> %.5g (%.1f%%)@."
+    r.conventional_cost r.cse_cost
+    (100.0 *. r.cse_cost /. Float.max 1e-9 r.conventional_cost)
+
+let ratio r = if r.conventional_cost = 0.0 then 1.0 else r.cse_cost /. r.conventional_cost
+
+let reduction_percent r = 100.0 *. (1.0 -. ratio r)
+
+exception No_plan of string
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
+    ~(catalog : Relalg.Catalog.t) (script : string) : report =
+  let ast = Slang.Parser.parse_script script in
+  let dag = Slogical.Binder.bind ~catalog ast in
+  let machines = cluster.Scost.Cluster.machines in
+  (* conventional baseline *)
+  let conv_memo = Smemo.Memo.of_dag ~catalog ~machines dag in
+  let conv_ctx = Sopt.Optimizer.create ~cluster conv_memo in
+  let conv_plan, conventional_time =
+    timed (fun () -> Sopt.Optimizer.optimize_root conv_ctx)
+  in
+  let conventional_plan =
+    match conv_plan with
+    | Some p -> p
+    | None -> raise (No_plan "conventional optimization produced no plan")
+  in
+  (* CSE optimization *)
+  let memo = Smemo.Memo.of_dag ~catalog ~machines dag in
+  let shared = Spool.identify ~config memo in
+  let outcome, cse_time =
+    timed (fun () ->
+        let budget =
+          match budget with
+          | Some b -> Some b
+          | None -> None
+        in
+        Phase2.optimize ~config ?budget ~cluster memo)
+  in
+  let cse_plan =
+    match outcome.Phase2.plan with
+    | Some p -> p
+    | None -> raise (No_plan "CSE optimization produced no plan")
+  in
+  let phase1_plan =
+    match outcome.Phase2.phase1_plan with Some p -> p | None -> cse_plan
+  in
+  let state = outcome.Phase2.state in
+  let si = Phase2.shared_info state in
+  let lcas =
+    List.filter_map
+      (fun (s : Spool.shared) ->
+        Option.map (fun l -> (s.Spool.spool, l))
+          (Shared_info.lca_of_shared si s.Spool.spool))
+      shared
+  in
+  let history_sizes =
+    List.map
+      (fun (s : Spool.shared) ->
+        ( s.Spool.spool,
+          List.length (History.entries state.Phase2.history s.Spool.spool) ))
+      shared
+  in
+  {
+    script;
+    dag;
+    conventional_plan;
+    conventional_cost = Scost.Dagcost.cost cluster conventional_plan;
+    conventional_time;
+    conventional_tasks = conv_ctx.Sopt.Optimizer.budget.Sopt.Budget.tasks;
+    cse_plan;
+    cse_cost = Scost.Dagcost.cost cluster cse_plan;
+    cse_time;
+    cse_tasks = outcome.Phase2.budget.Sopt.Budget.tasks;
+    phase1_plan;
+    memo;
+    shared;
+    lcas;
+    rounds_executed = state.Phase2.rounds_executed;
+    rounds_naive = state.Phase2.rounds_naive;
+    rounds_sequential = state.Phase2.rounds_sequential;
+    history_sizes;
+    shared_info = si;
+  }

@@ -1,0 +1,51 @@
+(** End-to-end facade: script text in, optimized plans out.
+
+    Runs both optimizers over the same script, catalog and cluster:
+    {e conventional} — the unmodified engine on a spool-free memo, where a
+    shared relation executes once per consumer (Figure 8(a)); and {e CSE} —
+    Algorithm 1 spool insertion, phase 1 with history recording,
+    Algorithm 3, and the phase-2 re-optimization (Figure 8(b)). *)
+
+type report = {
+  script : string;
+  dag : Slogical.Dag.t;
+  conventional_plan : Sphys.Plan.t;
+  conventional_cost : float;
+  conventional_time : float;
+  conventional_tasks : int;
+  cse_plan : Sphys.Plan.t;
+  cse_cost : float;
+  cse_time : float;
+  cse_tasks : int;
+  phase1_plan : Sphys.Plan.t;
+  memo : Smemo.Memo.t;  (** the CSE memo (with spools) *)
+  shared : Spool.shared list;
+  lcas : (int * int) list;  (** shared group -> its LCA group *)
+  rounds_executed : int;
+  rounds_naive : int;
+  rounds_sequential : int;
+  history_sizes : (int * int) list;  (** shared group -> #property sets *)
+  shared_info : Shared_info.t;
+}
+
+(** Narrative of the four optimization steps (Figure 2 of the paper). *)
+val pp_steps : report Fmt.t
+
+(** [cse_cost / conventional_cost]. *)
+val ratio : report -> float
+
+(** Cost reduction in percent, as reported in Figure 7. *)
+val reduction_percent : report -> float
+
+exception No_plan of string
+
+(** Parse, bind and optimize a script both ways.
+    Raises [Slang.Parser.Error], [Slang.Lexer.Error], [Slogical.Binder.Error]
+    on bad input and {!No_plan} if optimization fails. *)
+val run :
+  ?config:Config.t ->
+  ?budget:Sopt.Budget.t ->
+  ?cluster:Scost.Cluster.t ->
+  catalog:Relalg.Catalog.t ->
+  string ->
+  report

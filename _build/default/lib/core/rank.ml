@@ -1,0 +1,27 @@
+(* Section VIII-B: ranking shared groups by their potential repartitioning
+   savings,
+
+     RepartSav(G) = (NoConsumers(G) - 1) * RepartCost(G),
+
+   so that the rounds touching the most beneficial shared groups run
+   first and a budget cut-off keeps the best of them. *)
+
+let repartition_cost (cluster : Scost.Cluster.t) (memo : Smemo.Memo.t) gid =
+  let g = Smemo.Memo.group memo gid in
+  let s = g.Smemo.Memo.stats in
+  s.Slogical.Stats.rows *. s.Slogical.Stats.row_bytes
+  *. cluster.Scost.Cluster.net_byte
+  /. float_of_int cluster.Scost.Cluster.machines
+
+let savings (cluster : Scost.Cluster.t) (memo : Smemo.Memo.t)
+    (si : Shared_info.t) gid =
+  let consumers = List.length (Shared_info.consumers si gid) in
+  float_of_int (max 0 (consumers - 1)) *. repartition_cost cluster memo gid
+
+(* Sort shared groups by savings, high to low (stable for ties). *)
+let order (cluster : Scost.Cluster.t) (memo : Smemo.Memo.t)
+    (si : Shared_info.t) (shared : int list) =
+  List.stable_sort
+    (fun a b ->
+      Float.compare (savings cluster memo si b) (savings cluster memo si a))
+    shared

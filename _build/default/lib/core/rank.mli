@@ -1,0 +1,12 @@
+(** Section VIII-B: ranking shared groups by potential repartitioning
+    savings, [RepartSav(G) = (NoConsumers(G) - 1) * RepartCost(G)], so the
+    most beneficial rounds run first under a budget. *)
+
+(** Estimated cost of repartitioning the group's output once. *)
+val repartition_cost : Scost.Cluster.t -> Smemo.Memo.t -> int -> float
+
+val savings : Scost.Cluster.t -> Smemo.Memo.t -> Shared_info.t -> int -> float
+
+(** Sort shared groups by savings, high to low (stable). *)
+val order :
+  Scost.Cluster.t -> Smemo.Memo.t -> Shared_info.t -> int list -> int list

@@ -1,0 +1,141 @@
+open Sphys
+
+(* Re-optimization round generation (Algorithm 4, line 7, plus the
+   Section VIII refinements).
+
+   A *round* is one complete assignment of a property set to every shared
+   group handled at this LCA.  Within an independence class the full
+   cartesian product is enumerated -- lazily, by mixed-radix decoding, so a
+   dependent class of many groups (whose product can exceed 10^18) costs
+   nothing until rounds are actually drawn and the optimization budget cuts
+   enumeration off.  The first (highest-ranked) group varies fastest.
+
+   Across independent classes (VIII-A) enumeration is sequential: once a
+   class is exhausted its best assignment is frozen and the next class is
+   explored around it.  Later classes skip their all-initial combination --
+   it was already evaluated while the previous classes varied. *)
+
+type assignment = (int * Reqprops.t) list
+
+type cls = { members : (int * Reqprops.t array) array; total : int }
+
+type state = {
+  classes : cls array;
+  mutable class_idx : int;
+  mutable next_combo : int; (* mixed-radix index into the current class *)
+  mutable fixed : assignment; (* frozen best of completed classes *)
+  mutable class_best : (float * assignment) option;
+  mutable outstanding : assignment option; (* combo awaiting report *)
+  mutable generated : int;
+}
+
+(* Saturating product, so 14^17-sized spaces do not overflow. *)
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
+let mk_cls (members : (int * Reqprops.t list) list) : cls =
+  let members =
+    Array.of_list (List.map (fun (g, ps) -> (g, Array.of_list ps)) members)
+  in
+  let total =
+    Array.fold_left (fun acc (_, ps) -> sat_mul acc (Array.length ps)) 1 members
+  in
+  { members; total }
+
+(* Decode combination [i] of a class: member 0 varies fastest. *)
+let combo_of_index (c : cls) i : assignment =
+  let rec go j i acc =
+    if j >= Array.length c.members then List.rev acc
+    else
+      let g, ps = c.members.(j) in
+      let k = i mod Array.length ps in
+      go (j + 1) (i / Array.length ps) ((g, ps.(k)) :: acc)
+  in
+  go 0 i []
+
+let initial_of (c : cls) : assignment =
+  Array.to_list (Array.map (fun (g, ps) -> (g, ps.(0))) c.members)
+
+let create (classes : (int * Reqprops.t list) list list) : state =
+  let classes =
+    classes
+    |> List.filter (fun c -> c <> [])
+    |> List.filter (fun c -> List.for_all (fun (_, ps) -> ps <> []) c)
+    |> List.map mk_cls
+  in
+  {
+    classes = Array.of_list classes;
+    class_idx = 0;
+    (* classes after the first skip index 0 (the all-initial combination,
+       already evaluated while earlier classes varied) *)
+    next_combo = 0;
+    fixed = [];
+    class_best = None;
+    outstanding = None;
+    generated = 0;
+  }
+
+(* Initial assignments of the classes after the current one. *)
+let later_initials t =
+  let acc = ref [] in
+  for i = Array.length t.classes - 1 downto t.class_idx + 1 do
+    acc := initial_of t.classes.(i) @ !acc
+  done;
+  !acc
+
+let rec next (t : state) : assignment option =
+  assert (t.outstanding = None);
+  if Array.length t.classes = 0 then None
+  else
+    let c = t.classes.(t.class_idx) in
+    if t.next_combo < c.total then begin
+      let combo = combo_of_index c t.next_combo in
+      t.next_combo <- t.next_combo + 1;
+      t.outstanding <- Some combo;
+      t.generated <- t.generated + 1;
+      Some (t.fixed @ combo @ later_initials t)
+    end
+    else if t.class_idx + 1 >= Array.length t.classes then None
+    else begin
+      let best_combo =
+        match t.class_best with Some (_, cb) -> cb | None -> initial_of c
+      in
+      t.fixed <- t.fixed @ best_combo;
+      t.class_best <- None;
+      t.class_idx <- t.class_idx + 1;
+      t.next_combo <- 1 (* skip the already-evaluated all-initial combo *);
+      next t
+    end
+
+(* Report the cost achieved by the combo returned by the last [next]. *)
+let report (t : state) ~cost =
+  match t.outstanding with
+  | None -> invalid_arg "Rounds.report: no outstanding round"
+  | Some combo ->
+      t.outstanding <- None;
+      (match t.class_best with
+      | Some (c, _) when c <= cost -> ()
+      | _ -> t.class_best <- Some (cost, combo))
+
+let generated t = t.generated
+
+let class_sizes (classes : (int * Reqprops.t list) list list) =
+  List.map
+    (fun cls ->
+      List.fold_left (fun acc (_, ps) -> sat_mul acc (max 1 (List.length ps))) 1 cls)
+    classes
+
+(* Round count without the VIII-A decomposition: the full product over
+   every shared group (saturating). *)
+let naive_total (classes : (int * Reqprops.t list) list list) =
+  List.fold_left sat_mul 1 (class_sizes classes)
+
+(* Round count with the decomposition: the first class contributes its full
+   product, later classes their product minus the already-evaluated
+   all-initial combination. *)
+let sequential_total (classes : (int * Reqprops.t list) list list) =
+  match class_sizes classes with
+  | [] -> 0
+  | first :: rest -> first + List.fold_left (fun acc n -> acc + n - 1) 0 rest

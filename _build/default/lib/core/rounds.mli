@@ -1,0 +1,37 @@
+(** Re-optimization round generation (Algorithm 4, line 7, plus the
+    Section VIII refinements).
+
+    A round is one complete assignment of a property set to every shared
+    group handled at an LCA. Within an independence class the cartesian
+    product is enumerated lazily (mixed-radix decoding; a dependent class's
+    product can exceed 10^18 and is cut off by the optimization budget),
+    the first group varying fastest. Across classes enumeration is
+    sequential (VIII-A): a finished class freezes its best assignment;
+    later classes skip their already-evaluated all-initial combination. *)
+
+type assignment = (int * Sphys.Reqprops.t) list
+
+type state
+
+(** [create classes] with [classes] a list of independence classes, each a
+    list of (shared group, its ranked property sets). Empty classes and
+    groups without properties are dropped. *)
+val create : (int * Sphys.Reqprops.t list) list list -> state
+
+(** Next full assignment (over every group of every class), or [None] when
+    exhausted. Every [next] must be followed by {!report}. *)
+val next : state -> assignment option
+
+(** Report the cost achieved by the assignment from the last {!next}
+    (drives the best-of-class selection). *)
+val report : state -> cost:float -> unit
+
+(** Assignments generated so far. *)
+val generated : state -> int
+
+(** Round count without VIII-A: the saturated full product. *)
+val naive_total : (int * Sphys.Reqprops.t list) list list -> int
+
+(** Round count with VIII-A: first class in full, later classes minus the
+    all-initial combination. *)
+val sequential_total : (int * Sphys.Reqprops.t list) list list -> int

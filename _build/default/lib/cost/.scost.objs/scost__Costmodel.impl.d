@@ -1,0 +1,1 @@
+lib/cost/costmodel.ml: Cluster Float Partition Physop Plan Props Slogical Sphys

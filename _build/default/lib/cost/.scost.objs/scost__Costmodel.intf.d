@@ -1,0 +1,1 @@
+lib/cost/costmodel.mli: Cluster Slogical Sphys

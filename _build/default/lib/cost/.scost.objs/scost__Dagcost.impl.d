@@ -1,0 +1,1 @@
+lib/cost/dagcost.ml: Cluster Costmodel Hashtbl List Option Physop Plan Sphys

@@ -1,0 +1,1 @@
+lib/cost/dagcost.mli: Cluster Sphys

@@ -1,0 +1,59 @@
+open Sphys
+
+(* DAG-aware plan costing.
+
+   During search, plans are costed tree-wise (every reference to a subplan
+   pays for it).  The final cost of a plan that shares spooled
+   subexpressions must count each spool *producer* once and charge each
+   consumer a read of the materialized result; this module performs that
+   deduplicated accounting.  For spool-free plans it coincides with the
+   tree-wise cost. *)
+
+(* Two consumers share one materialization exactly when they reference the
+   *same* spool plan (winner memoization hands every consumer with the
+   same pinned properties the identical plan value); a physically distinct
+   plan for the same group is a second materialization and pays in full. *)
+let cost (cluster : Cluster.t) (plan : Plan.t) : float =
+  let produced : (int, Plan.t list) Hashtbl.t = Hashtbl.create 8 in
+  let already_produced (n : Plan.t) =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt produced n.Plan.group) in
+    if List.exists (fun p -> p == n) prev then true
+    else begin
+      Hashtbl.replace produced n.Plan.group (n :: prev);
+      false
+    end
+  in
+  let rec go (n : Plan.t) : float =
+    match n.Plan.op with
+    | Physop.P_spool ->
+        let read = Costmodel.spool_read_cost cluster n in
+        if already_produced n then read
+        else
+          let children =
+            List.fold_left (fun acc c -> acc +. go c) 0.0 n.Plan.children
+          in
+          n.Plan.op_cost +. children +. read
+    | _ ->
+        List.fold_left (fun acc c -> acc +. go c) n.Plan.op_cost n.Plan.children
+  in
+  go plan
+
+(* Number of distinct spool materializations and total spool references. *)
+let spool_counts (plan : Plan.t) =
+  let seen : (int, Plan.t list) Hashtbl.t = Hashtbl.create 8 in
+  let refs = ref 0 in
+  let rec go (n : Plan.t) =
+    (match n.Plan.op with
+    | Physop.P_spool ->
+        incr refs;
+        let prev = Option.value ~default:[] (Hashtbl.find_opt seen n.Plan.group) in
+        if not (List.exists (fun p -> p == n) prev) then
+          Hashtbl.replace seen n.Plan.group (n :: prev)
+    | _ -> ());
+    List.iter go n.Plan.children
+  in
+  go plan;
+  let distinct =
+    Hashtbl.fold (fun _ l acc -> acc + List.length l) seen 0
+  in
+  (distinct, !refs)

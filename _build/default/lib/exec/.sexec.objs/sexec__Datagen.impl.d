@@ -1,0 +1,1 @@
+lib/exec/datagen.ml: Array Catalog Hashtbl List Printf Relalg Schema Sutil Table Value

@@ -1,0 +1,1 @@
+lib/exec/datagen.mli: Relalg

@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Agg Array Catalog Colset Datagen Expr Fmt Hashtbl List Option Partition Physop Plan Props Relalg Schema Slogical Sortorder Sphys Table Value

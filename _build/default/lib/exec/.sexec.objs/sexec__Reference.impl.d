@@ -1,0 +1,1 @@
+lib/exec/reference.ml: Catalog Datagen Expr Hashtbl List Option Relalg Slogical Table Value

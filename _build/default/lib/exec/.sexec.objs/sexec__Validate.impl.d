@@ -1,0 +1,1 @@
+lib/exec/validate.ml: Array Catalog Datagen Engine List Printf Reference Relalg Schema Slogical Sphys Table Value

@@ -1,0 +1,1 @@
+lib/exec/validate.mli: Datagen Engine Relalg Slogical Sphys

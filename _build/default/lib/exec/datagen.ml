@@ -1,0 +1,48 @@
+open Relalg
+
+(* Deterministic synthetic data generation driven by the catalog.
+
+   Execution runs on a scaled-down copy of each input: row counts are
+   capped (the catalog describes 10^8-row files; the simulator exercises
+   the same plans on a few thousand rows) and NDVs are scaled so grouping
+   still aggregates.  The same file name always yields the same rows. *)
+
+type config = { max_rows : int }
+
+let default = { max_rows = 2_000 }
+
+let scaled_rows config (stats : Catalog.file_stats) =
+  min stats.Catalog.rows config.max_rows
+
+let scaled_ndv config (stats : Catalog.file_stats) ndv =
+  let rows = scaled_rows config stats in
+  let scale =
+    float_of_int rows /. float_of_int (max 1 stats.Catalog.rows)
+  in
+  (* keep small NDVs as they are; compress huge ones proportionally *)
+  max 2 (min ndv (max 2 (int_of_float (float_of_int ndv *. scale) + 2)))
+
+let value_for (ty : Schema.coltype) v =
+  match ty with
+  | Schema.Tint -> Value.Int v
+  | Schema.Tfloat -> Value.Float (float_of_int v)
+  | Schema.Tstr -> Value.Str (Printf.sprintf "v%d" v)
+
+(* Generate the full (scaled) table of a catalog file, restricted to
+   [schema]'s columns. *)
+let table ?(config = default) (catalog : Catalog.t) ~(file : string)
+    ~(schema : Schema.t) : Table.t =
+  match Catalog.find catalog file with
+  | None -> Table.empty schema
+  | Some stats ->
+      let rows = scaled_rows config stats in
+      let rng = Sutil.Rng.create (Hashtbl.hash file) in
+      let gen_col (c : Schema.column) =
+        let ndv = scaled_ndv config stats (Catalog.col_ndv stats c.Schema.name) in
+        fun () -> value_for c.Schema.ty (Sutil.Rng.int rng ndv)
+      in
+      let gens = List.map gen_col schema in
+      let data =
+        List.init rows (fun _ -> Array.of_list (List.map (fun g -> g ()) gens))
+      in
+      Table.make schema data

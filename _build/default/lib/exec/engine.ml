@@ -1,0 +1,319 @@
+open Relalg
+open Sphys
+
+(* Simulated distributed execution of physical plans.
+
+   A stream is an array of per-machine row lists.  Exchanges move rows
+   between machines using a *commutative* per-row hash over the partition
+   columns, so two inputs partitioned on column sets linked by join
+   equalities are co-located (the property the optimizer's co-partitioning
+   rules rely on).  Counters record rows shuffled, bytes read and spool
+   executions; [Validate] compares every output against the reference
+   evaluator. *)
+
+type dist = { schema : Schema.t; parts : Value.t array list array }
+
+type counters = {
+  mutable rows_shuffled : int;
+  mutable rows_extracted : int;
+  mutable spool_executions : int;
+  mutable spool_reads : int;
+}
+
+type t = {
+  machines : int;
+  catalog : Catalog.t;
+  datagen : Datagen.config;
+  counters : counters;
+  (* spool materialization cache, keyed by physical plan identity *)
+  mutable spooled : (Plan.t * dist) list;
+  mutable outputs : (string * Table.t) list;
+  (* when set, every operator's *claimed* delivered properties are checked
+     against the rows it actually produced *)
+  verify_props : bool;
+  mutable prop_violations : string list;
+}
+
+let create ?(datagen = Datagen.default) ?(verify_props = false) ~machines
+    catalog =
+  {
+    machines;
+    catalog;
+    datagen;
+    counters =
+      { rows_shuffled = 0; rows_extracted = 0; spool_executions = 0; spool_reads = 0 };
+    spooled = [];
+    outputs = [];
+    verify_props;
+    prop_violations = [];
+  }
+
+let empty_parts t = Array.make t.machines []
+
+(* Commutative hash of the values of [cols]: the sum of per-value hashes,
+   so the machine assignment does not depend on column order. *)
+let route t (schema : Schema.t) (cols : Colset.t) (row : Value.t array) =
+  let idxs = List.map (fun c -> Schema.index c schema) (Colset.to_list cols) in
+  let h = List.fold_left (fun acc i -> acc + Value.hash row.(i)) 17 idxs in
+  (h land max_int) mod t.machines
+
+let map_parts f (d : dist) schema' =
+  { schema = schema'; parts = Array.map f d.parts }
+
+let sort_rows (schema : Schema.t) (order : Sortorder.t) rows =
+  let idxs =
+    List.map (fun (c, dir) -> (Schema.index c schema, dir)) order
+  in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (i, dir) :: rest ->
+          let c = Value.compare a.(i) b.(i) in
+          let c = match dir with Sortorder.Asc -> c | Sortorder.Desc -> -c in
+          if c <> 0 then c else go rest
+    in
+    go idxs
+  in
+  List.stable_sort cmp rows
+
+(* Streaming aggregation over rows whose groups are contiguous. *)
+let stream_agg (schema : Schema.t) ~keys ~(aggs : Agg.t list) rows =
+  let key_idx = List.map (fun k -> Schema.index k schema) keys in
+  let key_of row = List.map (fun i -> row.(i)) key_idx in
+  let out = ref [] in
+  let flush key states =
+    out := Array.of_list (key @ List.map2 Agg.finish aggs states) :: !out
+  in
+  let current = ref None in
+  List.iter
+    (fun row ->
+      let k = key_of row in
+      (match !current with
+      | Some (k0, states) when List.equal Value.equal k0 k ->
+          List.iter2 (fun a st -> Agg.step a st schema row) aggs states
+      | Some (k0, states) ->
+          flush k0 states;
+          let states = List.map (fun _ -> Agg.init ()) aggs in
+          List.iter2 (fun a st -> Agg.step a st schema row) aggs states;
+          current := Some (k, states)
+      | None ->
+          let states = List.map (fun _ -> Agg.init ()) aggs in
+          List.iter2 (fun a st -> Agg.step a st schema row) aggs states;
+          current := Some (k, states)))
+    rows;
+  (match !current with Some (k0, states) -> flush k0 states | None -> ());
+  List.rev !out
+
+let exchange t (d : dist) cols =
+  let parts = empty_parts t in
+  Array.iter
+    (fun rows ->
+      List.iter
+        (fun row ->
+          let m = route t d.schema cols row in
+          t.counters.rows_shuffled <- t.counters.rows_shuffled + 1;
+          parts.(m) <- row :: parts.(m))
+        rows)
+    d.parts;
+  (* restore arrival order per machine *)
+  { schema = d.schema; parts = Array.map List.rev parts }
+
+let pred_of_pairs pairs residual =
+  let eqs =
+    List.map (fun (a, b) -> Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b)) pairs
+  in
+  let conj =
+    match eqs @ Option.to_list residual with
+    | [] -> Expr.Lit (Value.Int 1)
+    | e :: rest -> List.fold_left (fun acc x -> Expr.And (acc, x)) e rest
+  in
+  conj
+
+(* Check that the delivered properties recorded on a plan node hold on the
+   rows it actually produced: a [Serial] stream occupies one machine, a
+   [Hashed s] stream co-locates every s-tuple, and each partition is sorted
+   per the claimed order. *)
+let check_delivered t (n : Plan.t) (d : dist) =
+  let violation fmt =
+    Fmt.kstr (fun m -> t.prop_violations <- m :: t.prop_violations) fmt
+  in
+  let where = Physop.to_string n.Plan.op in
+  (match n.Plan.props.Props.part with
+  | Partition.Roundrobin -> ()
+  | Partition.Serial ->
+      let occupied =
+        Array.fold_left (fun acc p -> if p = [] then acc else acc + 1) 0 d.parts
+      in
+      if occupied > 1 then
+        violation "%s: claims serial but occupies %d machines" where occupied
+  | Partition.Hashed s ->
+      let idxs =
+        List.filter_map (fun c -> Schema.index_opt c d.schema) (Colset.to_list s)
+      in
+      if List.length idxs = Colset.cardinal s then begin
+        let homes = Hashtbl.create 64 in
+        Array.iteri
+          (fun m part ->
+            List.iter
+              (fun row ->
+                let key = List.map (fun i -> row.(i)) idxs in
+                match Hashtbl.find_opt homes key with
+                | Some m0 when m0 <> m ->
+                    violation
+                      "%s: claims hash%s but a %s group spans machines %d and %d"
+                      where (Colset.to_string s) (Colset.to_string s) m0 m
+                | Some _ -> ()
+                | None -> Hashtbl.add homes key m)
+              part)
+          d.parts
+      end);
+  (match n.Plan.props.Props.sort with
+  | [] -> ()
+  | order ->
+      let idxs =
+        List.filter_map
+          (fun (c, dir) ->
+            Option.map (fun i -> (i, dir)) (Schema.index_opt c d.schema))
+          order
+      in
+      if List.length idxs = List.length order then
+        let cmp a b =
+          let rec go = function
+            | [] -> 0
+            | (i, dir) :: rest ->
+                let c = Value.compare a.(i) b.(i) in
+                let c = match dir with Sortorder.Asc -> c | Sortorder.Desc -> -c in
+                if c <> 0 then c else go rest
+          in
+          go idxs
+        in
+        Array.iteri
+          (fun m part ->
+            let rec sorted = function
+              | a :: (b :: _ as rest) -> cmp a b <= 0 && sorted rest
+              | _ -> true
+            in
+            if not (sorted part) then
+              violation "%s: claims sort %s but machine %d is out of order"
+                where (Sortorder.to_string order) m)
+          d.parts)
+
+let rec execute t (plan : Plan.t) : dist =
+  let d = execute_op t plan in
+  if t.verify_props then check_delivered t plan d;
+  d
+
+and execute_op t (plan : Plan.t) : dist =
+  let n = plan in
+  let schema = n.Plan.schema in
+  match n.Plan.op with
+  | Physop.P_extract { file; schema = fschema; _ } ->
+      let table = Datagen.table ~config:t.datagen t.catalog ~file ~schema:fschema in
+      t.counters.rows_extracted <-
+        t.counters.rows_extracted + Table.cardinality table;
+      let parts = empty_parts t in
+      List.iteri
+        (fun i row ->
+          let m = i mod t.machines in
+          parts.(m) <- row :: parts.(m))
+        table.Table.rows;
+      { schema = fschema; parts = Array.map List.rev parts }
+  | Physop.P_filter { pred } ->
+      let d = execute t (List.hd n.Plan.children) in
+      map_parts
+        (List.filter (fun row -> Expr.eval_pred d.schema row pred))
+        d schema
+  | Physop.P_project { items } ->
+      let d = execute t (List.hd n.Plan.children) in
+      map_parts
+        (List.map (fun row ->
+             Array.of_list
+               (List.map (fun (e, _) -> Expr.eval d.schema row e) items)))
+        d schema
+  | Physop.P_sort { order } ->
+      let d = execute t (List.hd n.Plan.children) in
+      map_parts (sort_rows d.schema order) d schema
+  | Physop.P_stream_agg { keys; aggs; scope = _ } ->
+      let d = execute t (List.hd n.Plan.children) in
+      map_parts (stream_agg d.schema ~keys ~aggs) d schema
+  | Physop.P_hash_agg { keys; aggs; scope = _ } ->
+      let d = execute t (List.hd n.Plan.children) in
+      map_parts
+        (fun rows ->
+          (Table.group_by (Table.make d.schema rows) ~keys ~aggs).Table.rows)
+        d schema
+  | Physop.P_merge_join { kind; pairs; residual }
+  | Physop.P_hash_join { kind; pairs; residual } -> (
+      match n.Plan.children with
+      | [ lc; rc ] ->
+          let l = execute t lc and r = execute t rc in
+          let pred = pred_of_pairs pairs residual in
+          let parts = empty_parts t in
+          for m = 0 to t.machines - 1 do
+            let joined =
+              Table.join ~kind:
+                (match kind with
+                | Slogical.Logop.Inner -> `Inner
+                | Slogical.Logop.Left_outer -> `Left_outer)
+                (Table.make l.schema l.parts.(m))
+                (Table.make r.schema r.parts.(m))
+                pred
+            in
+            parts.(m) <- joined.Table.rows
+          done;
+          { schema; parts }
+      | _ -> invalid_arg "Engine: join expects two children")
+  | Physop.P_union_all -> (
+      match n.Plan.children with
+      | [ lc; rc ] ->
+          let l = execute t lc and r = execute t rc in
+          {
+            schema;
+            parts =
+              Array.init t.machines (fun m -> l.parts.(m) @ r.parts.(m));
+          }
+      | _ -> invalid_arg "Engine: union expects two children")
+  | Physop.P_spool -> (
+      t.counters.spool_reads <- t.counters.spool_reads + 1;
+      match List.find_opt (fun (p, _) -> p == plan) t.spooled with
+      | Some (_, d) -> d
+      | None ->
+          t.counters.spool_executions <- t.counters.spool_executions + 1;
+          let d = execute t (List.hd n.Plan.children) in
+          t.spooled <- (plan, d) :: t.spooled;
+          d)
+  | Physop.P_output { file } ->
+      let d = execute t (List.hd n.Plan.children) in
+      let rows = Array.to_list d.parts |> List.concat in
+      t.outputs <- t.outputs @ [ (file, Table.make d.schema rows) ];
+      d
+  | Physop.P_sequence ->
+      List.iter (fun c -> ignore (execute t c)) n.Plan.children;
+      { schema = []; parts = empty_parts t }
+  | Physop.P_exchange { cols } ->
+      let d = execute t (List.hd n.Plan.children) in
+      exchange t d cols
+  | Physop.P_merge_exchange { cols } ->
+      let d = execute t (List.hd n.Plan.children) in
+      let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
+      let ex = exchange t d cols in
+      (* merge the sorted runs: re-sorting each partition is equivalent *)
+      map_parts (sort_rows ex.schema child_sort) ex ex.schema
+  | Physop.P_gather ->
+      let d = execute t (List.hd n.Plan.children) in
+      let all = Array.to_list d.parts |> List.concat in
+      let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
+      let all =
+        if Sortorder.is_empty child_sort then all
+        else sort_rows d.schema child_sort all
+      in
+      let parts = empty_parts t in
+      parts.(0) <- all;
+      t.counters.rows_shuffled <- t.counters.rows_shuffled + List.length all;
+      { schema = d.schema; parts }
+
+(* Run a root plan; returns the outputs in OUTPUT order. *)
+let run t (plan : Plan.t) : (string * Table.t) list =
+  t.outputs <- [];
+  ignore (execute t plan);
+  t.outputs

@@ -1,0 +1,56 @@
+(** Simulated distributed execution of physical plans.
+
+    A stream is an array of per-machine row lists. Exchanges move rows with
+    a commutative per-row hash over the partition columns, so inputs
+    partitioned on equality-linked column sets are co-located. Counters
+    record rows shuffled/extracted and spool executions; spooled results
+    are cached by plan identity so a shared subexpression runs once. *)
+
+type dist = {
+  schema : Relalg.Schema.t;
+  parts : Relalg.Value.t array list array;
+}
+
+type counters = {
+  mutable rows_shuffled : int;
+  mutable rows_extracted : int;
+  mutable spool_executions : int;
+  mutable spool_reads : int;
+}
+
+type t = {
+  machines : int;
+  catalog : Relalg.Catalog.t;
+  datagen : Datagen.config;
+  counters : counters;
+  mutable spooled : (Sphys.Plan.t * dist) list;
+  mutable outputs : (string * Relalg.Table.t) list;
+  verify_props : bool;
+      (** when set, every operator's claimed delivered properties are
+          checked against the rows it actually produced *)
+  mutable prop_violations : string list;
+}
+
+val create :
+  ?datagen:Datagen.config ->
+  ?verify_props:bool ->
+  machines:int ->
+  Relalg.Catalog.t ->
+  t
+
+(** Hash-repartition a stream on a column set (counts shuffled rows). *)
+val exchange : t -> dist -> Relalg.Colset.t -> dist
+
+(** Streaming aggregation over rows whose groups are contiguous. *)
+val stream_agg :
+  Relalg.Schema.t ->
+  keys:string list ->
+  aggs:Relalg.Agg.t list ->
+  Relalg.Value.t array list ->
+  Relalg.Value.t array list
+
+(** Execute a plan, returning its output stream. *)
+val execute : t -> Sphys.Plan.t -> dist
+
+(** Execute a root plan; returns the OUTPUT files in script order. *)
+val run : t -> Sphys.Plan.t -> (string * Relalg.Table.t) list

@@ -1,0 +1,84 @@
+open Relalg
+
+(* Cross-validation of physical plans against the reference evaluator. *)
+
+type outcome = {
+  ok : bool;
+  mismatches : string list;
+  counters : Engine.counters;
+}
+
+(* ORDER BY specifications per output file, from the logical DAG. *)
+let output_orders (dag : Slogical.Dag.t) =
+  let live = Slogical.Dag.reachable dag in
+  Array.to_list dag.Slogical.Dag.nodes
+  |> List.filter_map (fun (n : Slogical.Dag.node) ->
+         if live.(n.Slogical.Dag.id) then
+           match n.Slogical.Dag.op with
+           | Slogical.Logop.Output { file; order } when order <> [] ->
+               Some (file, order)
+           | _ -> None
+         else None)
+
+let rows_sorted (schema : Schema.t) order rows =
+  let idxs = List.map (fun (c, desc) -> (Schema.index c schema, desc)) order in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (i, desc) :: rest ->
+          let c = Value.compare a.(i) b.(i) in
+          let c = if desc then -c else c in
+          if c <> 0 then c else go rest
+    in
+    go idxs
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> cmp a b <= 0 && sorted rest
+    | _ -> true
+  in
+  sorted rows
+
+(* Execute [plan] on a simulated cluster and compare every OUTPUT file's
+   contents against the reference results for [dag]; outputs with an
+   ORDER BY are additionally checked to be globally sorted. *)
+let check ?(datagen = Datagen.default) ?(verify_props = false) ~machines
+    (catalog : Catalog.t) (dag : Slogical.Dag.t) (plan : Sphys.Plan.t) :
+    outcome =
+  let expected = Reference.run ~datagen catalog dag in
+  let engine = Engine.create ~datagen ~verify_props ~machines catalog in
+  let actual = Engine.run engine plan in
+  let mismatches = ref [] in
+  List.iter
+    (fun (file, order) ->
+      match List.assoc_opt file actual with
+      | Some table ->
+          if not (rows_sorted table.Table.schema order table.Table.rows) then
+            mismatches :=
+              Printf.sprintf "output %s violates its ORDER BY" file
+              :: !mismatches
+      | None -> ())
+    (output_orders dag);
+  if List.length expected <> List.length actual then
+    mismatches :=
+      [
+        Printf.sprintf "expected %d outputs, plan produced %d"
+          (List.length expected) (List.length actual);
+      ]
+  else
+    List.iter2
+      (fun (file_e, table_e) (file_a, table_a) ->
+        if file_e <> file_a then
+          mismatches :=
+            Printf.sprintf "output order differs: %s vs %s" file_e file_a
+            :: !mismatches
+        else if not (Table.same_contents table_e table_a) then
+          mismatches :=
+            Printf.sprintf
+              "output %s differs: expected %d rows, got %d rows (or contents)"
+              file_e
+              (Table.cardinality table_e)
+              (Table.cardinality table_a)
+            :: !mismatches)
+      expected actual;
+  mismatches := engine.Engine.prop_violations @ !mismatches;
+  { ok = !mismatches = []; mismatches = !mismatches; counters = engine.Engine.counters }

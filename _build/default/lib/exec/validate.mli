@@ -1,0 +1,21 @@
+(** Cross-validation of physical plans against the reference evaluator. *)
+
+type outcome = {
+  ok : bool;
+  mismatches : string list;
+  counters : Engine.counters;
+}
+
+(** Execute the plan on a simulated cluster and compare every OUTPUT file
+    against the reference results of the logical DAG; outputs with an
+    ORDER BY are checked to be globally sorted, and with [~verify_props]
+    every operator's claimed delivered properties are checked against the
+    rows it actually produced. *)
+val check :
+  ?datagen:Datagen.config ->
+  ?verify_props:bool ->
+  machines:int ->
+  Relalg.Catalog.t ->
+  Slogical.Dag.t ->
+  Sphys.Plan.t ->
+  outcome

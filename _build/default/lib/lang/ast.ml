@@ -1,0 +1,110 @@
+(* Surface syntax of the SCOPE-like scripting language. *)
+
+type expr =
+  | Col_ref of string option * string (* optional relation qualifier *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Call of string * expr list (* aggregate or scalar function call *)
+  | Star (* only valid as the argument of Count *)
+  | Binop of Relalg.Expr.binop * expr * expr
+  | Cmp of Relalg.Expr.cmpop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type select_item = { item : expr; alias : string option }
+
+type source = { rel : string; src_alias : string option }
+
+type query =
+  | Extract of { cols : string list; file : string; extractor : string }
+  | Select of {
+      distinct : bool;
+      items : select_item list;
+      from : source list;
+      joins : (source * expr * bool) list;
+          (* explicit [LEFT] JOIN ... ON chains; the flag marks LEFT OUTER *)
+      where : expr option;
+      group_by : expr list;
+      having : expr option;
+    }
+  | Union_all of string * string (* union of two named relations *)
+
+type order_item = { ocol : expr; descending : bool }
+
+type stmt =
+  | Assign of string * query
+  | Output of { rel : string; file : string; order : order_item list }
+
+type script = stmt list
+
+let rec pp_expr ppf = function
+  | Col_ref (None, c) -> Fmt.string ppf c
+  | Col_ref (Some q, c) -> Fmt.pf ppf "%s.%s" q c
+  | Int_lit i -> Fmt.int ppf i
+  | Float_lit f -> Fmt.float ppf f
+  | Str_lit s -> Fmt.pf ppf "\"%s\"" s
+  | Call (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_expr) args
+  | Star -> Fmt.string ppf "*"
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %a %a)" pp_expr a Relalg.Expr.pp_binop op pp_expr b
+  | Cmp (op, a, b) ->
+      Fmt.pf ppf "(%a %a %a)" pp_expr a Relalg.Expr.pp_cmpop op pp_expr b
+  | And (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_expr a pp_expr b
+  | Not a -> Fmt.pf ppf "(NOT %a)" pp_expr a
+
+let pp_select_item ppf { item; alias } =
+  match alias with
+  | None -> pp_expr ppf item
+  | Some a -> Fmt.pf ppf "%a AS %s" pp_expr item a
+
+let pp_source ppf { rel; src_alias } =
+  match src_alias with
+  | None -> Fmt.string ppf rel
+  | Some a -> Fmt.pf ppf "%s AS %s" rel a
+
+let pp_query ppf = function
+  | Extract { cols; file; extractor } ->
+      Fmt.pf ppf "EXTRACT %s FROM \"%s\" USING %s" (String.concat "," cols) file
+        extractor
+  | Select { distinct; items; from; joins; where; group_by; having } ->
+      Fmt.pf ppf "SELECT %s%a FROM %a"
+        (if distinct then "DISTINCT " else "")
+        Fmt.(list ~sep:comma pp_select_item)
+        items
+        Fmt.(list ~sep:comma pp_source)
+        from;
+      List.iter
+        (fun (src, on, outer) ->
+          Fmt.pf ppf " %sJOIN %a ON %a"
+            (if outer then "LEFT " else "")
+            pp_source src pp_expr on)
+        joins;
+      Option.iter (fun w -> Fmt.pf ppf " WHERE %a" pp_expr w) where;
+      (match group_by with
+      | [] -> ()
+      | g -> Fmt.pf ppf " GROUP BY %a" Fmt.(list ~sep:comma pp_expr) g);
+      Option.iter (fun h -> Fmt.pf ppf " HAVING %a" pp_expr h) having
+  | Union_all (a, b) -> Fmt.pf ppf "%s UNION ALL %s" a b
+
+let pp_stmt ppf = function
+  | Assign (name, q) -> Fmt.pf ppf "%s = %a;" name pp_query q
+  | Output { rel; file; order } ->
+      Fmt.pf ppf "OUTPUT %s TO \"%s\"" rel file;
+      (match order with
+      | [] -> ()
+      | items ->
+          Fmt.pf ppf " ORDER BY %s"
+            (String.concat ", "
+               (List.map
+                  (fun { ocol; descending } ->
+                    Fmt.str "%a%s" pp_expr ocol
+                      (if descending then " DESC" else ""))
+                  items)));
+      Fmt.pf ppf ";"
+
+let pp ppf (s : script) = Fmt.(list ~sep:(any "@.") pp_stmt) ppf s
+
+let to_string s = Fmt.str "%a" pp s

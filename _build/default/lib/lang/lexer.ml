@@ -1,0 +1,160 @@
+(* Hand-written lexer for the SCOPE-like scripting language.
+
+   Strings are Windows-path friendly: a backslash inside a string literal
+   is taken literally (scripts contain paths like "...\test.log"), so the
+   only special character inside a string is the closing double quote.
+   Comments: [//] to end of line. *)
+
+exception Error of string * Token.pos
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let make src = { src; pos = 0; line = 1; bol = 0 }
+
+let position st = { Token.line = st.line; col = st.pos - st.bol + 1 }
+
+let error st msg = raise (Error (msg, position st))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/'
+    ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match Token.keyword_of_string s with Some kw -> kw | None -> Token.IDENT s
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match peek st with
+    | Some '.'
+      when st.pos + 1 < String.length st.src && is_digit st.src.[st.pos + 1] ->
+        advance st;
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done;
+        true
+    | _ -> false
+  in
+  let s = String.sub st.src start (st.pos - start) in
+  if is_float then Token.FLOAT (float_of_string s) else Token.INT (int_of_string s)
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Token.STRING (Buffer.contents buf)
+
+let next st : Token.t * Token.pos =
+  skip_ws st;
+  let pos = position st in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_ident_start c -> lex_ident st
+    | Some c when is_digit c -> lex_number st
+    | Some '"' -> lex_string st
+    | Some c -> (
+        let two =
+          if st.pos + 1 < String.length st.src then
+            Some (String.sub st.src st.pos 2)
+          else None
+        in
+        match two with
+        | Some "!=" | Some "<>" ->
+            advance st;
+            advance st;
+            Token.NEQ
+        | Some "<=" ->
+            advance st;
+            advance st;
+            Token.LE
+        | Some ">=" ->
+            advance st;
+            advance st;
+            Token.GE
+        | Some "==" ->
+            advance st;
+            advance st;
+            Token.EQ
+        | _ -> (
+            let tok_pos = position st in
+            advance st;
+            match c with
+            | '(' -> Token.LPAREN
+            | ')' -> Token.RPAREN
+            | ',' -> Token.COMMA
+            | ';' -> Token.SEMI
+            | '.' -> Token.DOT
+            | '*' -> Token.STAR
+            | '+' -> Token.PLUS
+            | '-' -> Token.MINUS
+            | '/' -> Token.SLASH
+            | '%' -> Token.PERCENT
+            | '=' -> Token.EQ
+            | '<' -> Token.LT
+            | '>' -> Token.GT
+            | _ ->
+                raise
+                  (Error (Printf.sprintf "unexpected character %C" c, tok_pos))))
+  in
+  (tok, pos)
+
+let tokenize src =
+  let st = make src in
+  let rec loop acc =
+    let tok, pos = next st in
+    match tok with
+    | Token.EOF -> List.rev ((tok, pos) :: acc)
+    | _ -> loop ((tok, pos) :: acc)
+  in
+  loop []

@@ -1,0 +1,7 @@
+(** Lexer for the SCOPE-like scripting language. *)
+
+exception Error of string * Token.pos
+
+(** Tokenize a whole script; the final token is always [EOF].
+    Raises [Error] on malformed input. *)
+val tokenize : string -> (Token.t * Token.pos) list

@@ -1,0 +1,353 @@
+(* Recursive-descent parser for the SCOPE-like language.
+
+   Grammar (informal):
+     script    ::= stmt+
+     stmt      ::= IDENT '=' query ';' | OUTPUT IDENT TO STRING ';'
+     query     ::= EXTRACT ident-list FROM STRING USING IDENT
+                 | SELECT items FROM sources join* [WHERE e]
+                   [GROUP BY e-list] [HAVING e]
+                 | IDENT UNION ALL IDENT
+     join      ::= JOIN source ON expr
+     expr      ::= or-expression with SQL-ish precedence
+   A single '=' inside expressions is equality (SQL style). *)
+
+exception Error of string * Token.pos
+
+type state = { mutable toks : (Token.t * Token.pos) list }
+
+let peek st =
+  match st.toks with
+  | [] -> (Token.EOF, { Token.line = 0; col = 0 })
+  | t :: _ -> t
+
+let peek2 st =
+  match st.toks with _ :: t :: _ -> Some (fst t) | _ -> None
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let error st msg =
+  let tok, pos = peek st in
+  raise
+    (Error
+       ( Printf.sprintf "line %d, col %d: %s (found %s)" pos.Token.line
+           pos.Token.col msg (Token.to_string tok),
+         pos ))
+
+let expect st tok msg =
+  let found, _ = peek st in
+  if found = tok then advance st else error st msg
+
+let ident st =
+  match peek st with
+  | Token.IDENT s, _ ->
+      advance st;
+      s
+  | _ -> error st "expected an identifier"
+
+let string_lit st =
+  match peek st with
+  | Token.STRING s, _ ->
+      advance st;
+      s
+  | _ -> error st "expected a string literal"
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Token.OR, _ ->
+      advance st;
+      Ast.Or (lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  match peek st with
+  | Token.AND, _ ->
+      advance st;
+      Ast.And (lhs, parse_and st)
+  | _ -> lhs
+
+and parse_not st =
+  match peek st with
+  | Token.NOT, _ ->
+      advance st;
+      Ast.Not (parse_not st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_additive st in
+  let op =
+    match peek st with
+    | Token.EQ, _ -> Some Relalg.Expr.Eq
+    | Token.NEQ, _ -> Some Relalg.Expr.Ne
+    | Token.LT, _ -> Some Relalg.Expr.Lt
+    | Token.LE, _ -> Some Relalg.Expr.Le
+    | Token.GT, _ -> Some Relalg.Expr.Gt
+    | Token.GE, _ -> Some Relalg.Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Cmp (op, lhs, parse_additive st)
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | Token.PLUS, _ ->
+        advance st;
+        loop (Ast.Binop (Relalg.Expr.Add, lhs, parse_multiplicative st))
+    | Token.MINUS, _ ->
+        advance st;
+        loop (Ast.Binop (Relalg.Expr.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | Token.STAR, _ ->
+        advance st;
+        loop (Ast.Binop (Relalg.Expr.Mul, lhs, parse_primary st))
+    | Token.SLASH, _ ->
+        advance st;
+        loop (Ast.Binop (Relalg.Expr.Div, lhs, parse_primary st))
+    | Token.PERCENT, _ ->
+        advance st;
+        loop (Ast.Binop (Relalg.Expr.Mod, lhs, parse_primary st))
+    | _ -> lhs
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Token.INT i, _ ->
+      advance st;
+      Ast.Int_lit i
+  | Token.FLOAT f, _ ->
+      advance st;
+      Ast.Float_lit f
+  | Token.STRING s, _ ->
+      advance st;
+      Ast.Str_lit s
+  | Token.MINUS, _ ->
+      advance st;
+      Ast.Binop (Relalg.Expr.Sub, Ast.Int_lit 0, parse_primary st)
+  | Token.STAR, _ ->
+      advance st;
+      Ast.Star
+  | Token.LPAREN, _ ->
+      advance st;
+      let e = parse_or st in
+      expect st Token.RPAREN "expected ')'";
+      e
+  | Token.IDENT name, _ -> (
+      advance st;
+      match peek st with
+      | Token.LPAREN, _ ->
+          advance st;
+          let args =
+            match peek st with
+            | Token.RPAREN, _ -> []
+            | _ ->
+                let rec loop acc =
+                  let e = parse_or st in
+                  match peek st with
+                  | Token.COMMA, _ ->
+                      advance st;
+                      loop (e :: acc)
+                  | _ -> List.rev (e :: acc)
+                in
+                loop []
+          in
+          expect st Token.RPAREN "expected ')' after function arguments";
+          Ast.Call (name, args)
+      | Token.DOT, _ ->
+          advance st;
+          let field = ident st in
+          Ast.Col_ref (Some name, field)
+      | _ -> Ast.Col_ref (None, name))
+  | _ -> error st "expected an expression"
+
+(* --- queries ---------------------------------------------------------- *)
+
+let parse_select_item st =
+  let item = parse_or st in
+  match peek st with
+  | Token.AS, _ ->
+      advance st;
+      { Ast.item; alias = Some (ident st) }
+  | _ -> { Ast.item; alias = None }
+
+let parse_source st =
+  let rel = ident st in
+  match peek st with
+  | Token.AS, _ ->
+      advance st;
+      { Ast.rel; src_alias = Some (ident st) }
+  | Token.IDENT _, _ ->
+      (* implicit alias: "R1 x" *)
+      { Ast.rel; src_alias = Some (ident st) }
+  | _ -> { Ast.rel; src_alias = None }
+
+let parse_extract st =
+  expect st Token.EXTRACT "expected EXTRACT";
+  let rec cols acc =
+    let c = ident st in
+    match peek st with
+    | Token.COMMA, _ ->
+        advance st;
+        cols (c :: acc)
+    | _ -> List.rev (c :: acc)
+  in
+  let cols = cols [] in
+  expect st Token.FROM "expected FROM in EXTRACT";
+  let file = string_lit st in
+  expect st Token.USING "expected USING in EXTRACT";
+  let extractor = ident st in
+  Ast.Extract { cols; file; extractor }
+
+let parse_select st =
+  expect st Token.SELECT "expected SELECT";
+  let distinct =
+    match peek st with
+    | Token.DISTINCT, _ ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let rec items acc =
+    let item = parse_select_item st in
+    match peek st with
+    | Token.COMMA, _ ->
+        advance st;
+        items (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  let items = items [] in
+  expect st Token.FROM "expected FROM in SELECT";
+  let rec sources acc =
+    let s = parse_source st in
+    match peek st with
+    | Token.COMMA, _ ->
+        advance st;
+        sources (s :: acc)
+    | _ -> List.rev (s :: acc)
+  in
+  let from = sources [] in
+  let rec joins acc =
+    match peek st with
+    | Token.JOIN, _ ->
+        advance st;
+        let src = parse_source st in
+        expect st Token.ON "expected ON after JOIN source";
+        let on = parse_or st in
+        joins ((src, on, false) :: acc)
+    | Token.LEFT, _ ->
+        advance st;
+        expect st Token.JOIN "expected JOIN after LEFT";
+        let src = parse_source st in
+        expect st Token.ON "expected ON after JOIN source";
+        let on = parse_or st in
+        joins ((src, on, true) :: acc)
+    | _ -> List.rev acc
+  in
+  let joins = joins [] in
+  let where =
+    match peek st with
+    | Token.WHERE, _ ->
+        advance st;
+        Some (parse_or st)
+    | _ -> None
+  in
+  let group_by =
+    match peek st with
+    | Token.GROUP, _ ->
+        advance st;
+        expect st Token.BY "expected BY after GROUP";
+        let rec loop acc =
+          let e = parse_or st in
+          match peek st with
+          | Token.COMMA, _ ->
+              advance st;
+              loop (e :: acc)
+          | _ -> List.rev (e :: acc)
+        in
+        loop []
+    | _ -> []
+  in
+  let having =
+    match peek st with
+    | Token.HAVING, _ ->
+        advance st;
+        Some (parse_or st)
+    | _ -> None
+  in
+  Ast.Select { distinct; items; from; joins; where; group_by; having }
+
+let parse_query st =
+  match peek st with
+  | Token.EXTRACT, _ -> parse_extract st
+  | Token.SELECT, _ -> parse_select st
+  | Token.IDENT a, _ when peek2 st = Some Token.UNION ->
+      advance st;
+      expect st Token.UNION "expected UNION";
+      expect st Token.ALL "expected ALL after UNION";
+      let b = ident st in
+      Ast.Union_all (a, b)
+  | _ -> error st "expected EXTRACT, SELECT or a UNION ALL query"
+
+let parse_stmt st =
+  match peek st with
+  | Token.OUTPUT, _ ->
+      advance st;
+      let rel = ident st in
+      expect st Token.TO "expected TO in OUTPUT";
+      let file = string_lit st in
+      let order =
+        match peek st with
+        | Token.ORDER, _ ->
+            advance st;
+            expect st Token.BY "expected BY after ORDER";
+            let rec loop acc =
+              let ocol = parse_or st in
+              let descending =
+                match peek st with
+                | Token.DESC, _ ->
+                    advance st;
+                    true
+                | _ -> false
+              in
+              let item = { Ast.ocol; descending } in
+              match peek st with
+              | Token.COMMA, _ ->
+                  advance st;
+                  loop (item :: acc)
+              | _ -> List.rev (item :: acc)
+            in
+            loop []
+        | _ -> []
+      in
+      expect st Token.SEMI "expected ';' after OUTPUT";
+      Ast.Output { rel; file; order }
+  | Token.IDENT name, _ ->
+      advance st;
+      expect st Token.EQ "expected '=' after relation name";
+      let q = parse_query st in
+      expect st Token.SEMI "expected ';' after query";
+      Ast.Assign (name, q)
+  | _ -> error st "expected an assignment or an OUTPUT statement"
+
+let parse_script src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | Token.EOF, _ -> List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  let script = loop [] in
+  if script = [] then error st "empty script" else script

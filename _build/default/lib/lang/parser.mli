@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the SCOPE-like language. *)
+
+exception Error of string * Token.pos
+
+(** Parse a full script. Raises [Error] (with position) or [Lexer.Error]
+    on malformed input. *)
+val parse_script : string -> Ast.script

@@ -1,0 +1,120 @@
+type pos = { line : int; col : int }
+
+type t =
+  (* literals and identifiers *)
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  (* keywords *)
+  | EXTRACT
+  | FROM
+  | USING
+  | SELECT
+  | AS
+  | WHERE
+  | GROUP
+  | BY
+  | HAVING
+  | OUTPUT
+  | TO
+  | JOIN
+  | LEFT
+  | ON
+  | AND
+  | OR
+  | NOT
+  | UNION
+  | ALL
+  | DISTINCT
+  | ORDER
+  | DESC
+  (* punctuation and operators *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keyword_of_string s =
+  match String.uppercase_ascii s with
+  | "EXTRACT" -> Some EXTRACT
+  | "FROM" -> Some FROM
+  | "USING" -> Some USING
+  | "SELECT" -> Some SELECT
+  | "AS" -> Some AS
+  | "WHERE" -> Some WHERE
+  | "GROUP" -> Some GROUP
+  | "BY" -> Some BY
+  | "HAVING" -> Some HAVING
+  | "OUTPUT" -> Some OUTPUT
+  | "TO" -> Some TO
+  | "JOIN" -> Some JOIN
+  | "LEFT" -> Some LEFT
+  | "ON" -> Some ON
+  | "AND" -> Some AND
+  | "OR" -> Some OR
+  | "NOT" -> Some NOT
+  | "UNION" -> Some UNION
+  | "ALL" -> Some ALL
+  | "DISTINCT" -> Some DISTINCT
+  | "ORDER" -> Some ORDER
+  | "DESC" -> Some DESC
+  | _ -> None
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | EXTRACT -> "EXTRACT"
+  | FROM -> "FROM"
+  | USING -> "USING"
+  | SELECT -> "SELECT"
+  | AS -> "AS"
+  | WHERE -> "WHERE"
+  | GROUP -> "GROUP"
+  | BY -> "BY"
+  | HAVING -> "HAVING"
+  | OUTPUT -> "OUTPUT"
+  | TO -> "TO"
+  | JOIN -> "JOIN"
+  | LEFT -> "LEFT"
+  | ON -> "ON"
+  | AND -> "AND"
+  | OR -> "OR"
+  | NOT -> "NOT"
+  | UNION -> "UNION"
+  | ALL -> "ALL"
+  | DISTINCT -> "DISTINCT"
+  | ORDER -> "ORDER"
+  | DESC -> "DESC"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "end of input"

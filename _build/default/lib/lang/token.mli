@@ -1,0 +1,55 @@
+(** Lexical tokens of the SCOPE-like language. *)
+
+(** Source position (1-based line and column). *)
+type pos = { line : int; col : int }
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EXTRACT
+  | FROM
+  | USING
+  | SELECT
+  | AS
+  | WHERE
+  | GROUP
+  | BY
+  | HAVING
+  | OUTPUT
+  | TO
+  | JOIN
+  | LEFT
+  | ON
+  | AND
+  | OR
+  | NOT
+  | UNION
+  | ALL
+  | DISTINCT
+  | ORDER
+  | DESC
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+(** Keyword for an identifier spelling, case-insensitively. *)
+val keyword_of_string : string -> t option
+
+(** Human-readable rendering for error messages. *)
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/logical/binder.ml: Agg Catalog Colset Dag Either Expr Fmt Hashtbl List Logop Option Printf Relalg Schema Slang String Sutil Value

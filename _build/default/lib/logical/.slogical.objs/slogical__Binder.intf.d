@@ -1,0 +1,1 @@
+lib/logical/binder.mli: Dag Relalg Slang

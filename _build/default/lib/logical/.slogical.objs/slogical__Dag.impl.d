@@ -1,0 +1,1 @@
+lib/logical/dag.ml: Array Fmt Int List Logop Printf Relalg Schema String

@@ -1,0 +1,1 @@
+lib/logical/dag.mli: Fmt Logop Relalg

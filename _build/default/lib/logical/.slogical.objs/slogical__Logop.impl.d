@@ -1,0 +1,1 @@
+lib/logical/logop.ml: Agg Expr Fmt Hashtbl List Relalg Schema String

@@ -1,0 +1,1 @@
+lib/logical/logop.mli: Fmt Relalg

@@ -1,0 +1,1 @@
+lib/logical/stats.ml: Catalog Colset Expr Float Fmt List Logop Relalg Schema

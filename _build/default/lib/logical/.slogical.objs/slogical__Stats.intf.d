@@ -1,0 +1,1 @@
+lib/logical/stats.mli: Fmt Logop Relalg

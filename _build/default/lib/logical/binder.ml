@@ -1,0 +1,576 @@
+open Relalg
+
+(* The binder turns a parsed script into a logical operator DAG:
+   - relation names are resolved to DAG nodes (a relation consumed twice
+     becomes an explicitly shared node, cf. Figure 1(a));
+   - multi-source SELECTs become left-deep join trees over alias-qualified
+     rename projections, with WHERE/ON equality conjuncts turned into
+     equi-join pairs and the rest into residual filters;
+   - AVG is decomposed into SUM and COUNT combined by a final projection;
+   - all OUTPUT statements are tied together under a Sequence root. *)
+
+exception Error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* Normalize a script file path to its base name so that the same file
+   referenced through different path spellings gets the same FileID. *)
+let normalize_path p =
+  let cut sep s =
+    match String.rindex_opt s sep with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  cut '/' (cut '\\' p)
+
+type env = {
+  catalog : Catalog.t;
+  builder : Dag.builder;
+  mutable relations : (string * Dag.node) list;
+}
+
+let lookup_relation env name =
+  match List.assoc_opt name env.relations with
+  | Some node -> node
+  | None -> errf "unknown relation %s" name
+
+(* Binding context of one SELECT: which visible (qualifier, column) pairs
+   map to which physical column names of the bound input node. *)
+type scope = { bindings : (string option * string * string) list }
+
+let resolve scope ~qual ~name =
+  let matches =
+    List.filter
+      (fun (q, n, _) ->
+        n = name && match qual with None -> true | Some _ -> q = qual)
+      scope.bindings
+  in
+  match matches with
+  | [ (_, _, phys) ] -> phys
+  | [] ->
+      errf "unknown column %s%s"
+        (match qual with Some q -> q ^ "." | None -> "")
+        name
+  | _ ->
+      (* several sources expose the column: ambiguous unless all aliases
+         resolve to the same physical column *)
+      let phys = List.map (fun (_, _, p) -> p) matches in
+      (match List.sort_uniq String.compare phys with
+      | [ p ] -> p
+      | _ ->
+          errf "ambiguous column reference %s%s"
+            (match qual with Some q -> q ^ "." | None -> "")
+            name)
+
+(* Translate an AST scalar expression (no aggregates allowed) into a
+   relational expression over physical column names. *)
+let rec bind_scalar scope (e : Slang.Ast.expr) : Expr.t =
+  match e with
+  | Slang.Ast.Col_ref (qual, name) -> Expr.Col (resolve scope ~qual ~name)
+  | Slang.Ast.Int_lit i -> Expr.Lit (Value.Int i)
+  | Slang.Ast.Float_lit f -> Expr.Lit (Value.Float f)
+  | Slang.Ast.Str_lit s -> Expr.Lit (Value.Str s)
+  | Slang.Ast.Binop (op, a, b) ->
+      Expr.Binop (op, bind_scalar scope a, bind_scalar scope b)
+  | Slang.Ast.Cmp (op, a, b) ->
+      Expr.Cmp (op, bind_scalar scope a, bind_scalar scope b)
+  | Slang.Ast.And (a, b) -> Expr.And (bind_scalar scope a, bind_scalar scope b)
+  | Slang.Ast.Or (a, b) -> Expr.Or (bind_scalar scope a, bind_scalar scope b)
+  | Slang.Ast.Not a -> Expr.Not (bind_scalar scope a)
+  | Slang.Ast.Star -> errf "'*' is only valid as the argument of Count"
+  | Slang.Ast.Call (f, _) -> errf "aggregate %s not allowed here" f
+
+let agg_func_of_name name =
+  match String.lowercase_ascii name with
+  | "sum" -> Some `Sum
+  | "count" -> Some `Count
+  | "min" -> Some `Min
+  | "max" -> Some `Max
+  | "avg" -> Some `Avg
+  | _ -> None
+
+let is_agg_call = function
+  | Slang.Ast.Call (f, _) -> agg_func_of_name f <> None
+  | _ -> false
+
+(* Split an optional predicate into conjuncts. *)
+let rec conjuncts (e : Expr.t) =
+  match e with
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* --- SELECT binding --------------------------------------------------- *)
+
+(* Bind the FROM clause: returns the input node, the scope and the residual
+   (non-join) predicate.  When there are several sources each one is
+   wrapped in an alias-qualifying rename projection so the combined schema
+   has unique names; WHERE/ON equality conjuncts linking two sources become
+   equi-join pairs. *)
+let bind_from env (from : Slang.Ast.source list)
+    (inner_joins : (Slang.Ast.source * Slang.Ast.expr) list)
+    (left_joins : (Slang.Ast.source * Slang.Ast.expr) list)
+    (where : Slang.Ast.expr option) =
+  let joins = inner_joins in
+  let sources = from @ List.map fst inner_joins @ List.map fst left_joins in
+  match sources with
+  | [] -> errf "SELECT requires at least one source"
+  | [ { rel; src_alias } ] ->
+      let node = lookup_relation env rel in
+      let alias = Option.value src_alias ~default:rel in
+      let scope =
+        {
+          bindings =
+            List.concat_map
+              (fun c ->
+                let n = c.Schema.name in
+                [ (Some alias, n, n); (None, n, n) ])
+              node.Dag.schema;
+        }
+      in
+      (node, scope, Option.map (bind_scalar scope) where)
+  | _ ->
+      (* Wrap each source in a rename projection "alias.col". *)
+      let bound =
+        List.map
+          (fun { Slang.Ast.rel; src_alias } ->
+            let node = lookup_relation env rel in
+            let alias = Option.value src_alias ~default:rel in
+            let items =
+              List.map
+                (fun c ->
+                  (Expr.Col c.Schema.name, alias ^ "." ^ c.Schema.name))
+                node.Dag.schema
+            in
+            let renamed =
+              Dag.add env.builder
+                (Logop.Project { items })
+                [ node.Dag.id ] [ node.Dag.schema ]
+            in
+            (alias, renamed))
+          sources
+      in
+      let scope =
+        {
+          bindings =
+            List.concat_map
+              (fun (alias, node) ->
+                List.map
+                  (fun c ->
+                    let phys = c.Schema.name in
+                    (* phys is "alias.col"; recover the bare name *)
+                    let bare =
+                      match String.index_opt phys '.' with
+                      | Some i ->
+                          String.sub phys (i + 1) (String.length phys - i - 1)
+                      | None -> phys
+                    in
+                    (Some alias, bare, phys))
+                  node.Dag.schema)
+              bound
+        }
+      in
+      let scope =
+        (* also allow unqualified references (checked for ambiguity) *)
+        {
+          bindings =
+            scope.bindings
+            @ List.map (fun (_, bare, phys) -> (None, bare, phys)) scope.bindings;
+        }
+      in
+      (* Collect all join conditions: explicit ON clauses plus WHERE. *)
+      let on_preds = List.map (fun (_, on) -> bind_scalar scope on) joins in
+      let where_pred = Option.map (bind_scalar scope) where in
+      let all_conjuncts =
+        List.concat_map conjuncts (on_preds @ Option.to_list where_pred)
+      in
+      (* Build the left-deep join tree in source order. *)
+      let col_of_node (node : Dag.node) c = Schema.mem c node.Dag.schema in
+      let remaining = ref all_conjuncts in
+      let join_left (left : Dag.node) (alias_right, (right : Dag.node)) =
+        ignore alias_right;
+        let applicable, rest =
+          List.partition
+            (fun e ->
+              match Expr.equi_pairs e with
+              | Some [ (a, b) ] ->
+                  (col_of_node left a && col_of_node right b)
+                  || (col_of_node left b && col_of_node right a)
+              | _ -> false)
+            !remaining
+        in
+        remaining := rest;
+        let pairs =
+          List.map
+            (fun e ->
+              match Expr.equi_pairs e with
+              | Some [ (a, b) ] ->
+                  if col_of_node left a then (a, b) else (b, a)
+              | _ -> assert false)
+            applicable
+        in
+        if pairs = [] then
+          errf "cross joins are not supported: no equality predicate links %s"
+            (Schema.to_string right.Dag.schema);
+        Dag.add env.builder
+          (Logop.Join { kind = Logop.Inner; pairs; residual = None })
+          [ left.Dag.id; right.Dag.id ]
+          [ left.Dag.schema; right.Dag.schema ]
+      in
+      (* inner part: comma sources and JOIN ... ON, left-deep *)
+      let n_inner = List.length from + List.length inner_joins in
+      let bound_inner = Sutil.Combi.take n_inner bound in
+      let bound_left = Sutil.Combi.drop n_inner bound in
+      let first = snd (List.hd bound_inner) in
+      let joined = List.fold_left join_left first (List.tl bound_inner) in
+      (* LEFT JOINs, applied in script order after the inner part; the ON
+         predicate is the full match condition (equality pairs feed
+         co-partitioning, the rest becomes the join residual) *)
+      let apply_left (left : Dag.node) ((_, (right : Dag.node)), (_, on)) =
+        let pred = bind_scalar scope on in
+        let combined c = Schema.mem c left.Dag.schema || Schema.mem c right.Dag.schema in
+        List.iter
+          (fun c ->
+            if not (combined c) then
+              errf
+                "LEFT JOIN condition references %s, which is not available yet"
+                c)
+          (Colset.to_list (Expr.columns pred));
+        let pairs, residual_conjs =
+          List.partition_map
+            (fun e ->
+              match Expr.equi_pairs e with
+              | Some [ (a, b) ]
+                when Schema.mem a left.Dag.schema
+                     && Schema.mem b right.Dag.schema ->
+                  Either.Left (a, b)
+              | Some [ (a, b) ]
+                when Schema.mem b left.Dag.schema
+                     && Schema.mem a right.Dag.schema ->
+                  Either.Left (b, a)
+              | _ -> Either.Right e)
+            (conjuncts pred)
+        in
+        if pairs = [] then
+          errf "LEFT JOIN requires at least one equality linking the two sides";
+        let residual =
+          match residual_conjs with
+          | [] -> None
+          | e :: rest ->
+              Some (List.fold_left (fun a b -> Expr.And (a, b)) e rest)
+        in
+        Dag.add env.builder
+          (Logop.Join { kind = Logop.Left_outer; pairs; residual })
+          [ left.Dag.id; right.Dag.id ]
+          [ left.Dag.schema; right.Dag.schema ]
+      in
+      let joined =
+        List.fold_left apply_left joined (List.combine bound_left left_joins)
+      in
+      let residual =
+        match !remaining with
+        | [] -> None
+        | e :: rest -> Some (List.fold_left (fun a b -> Expr.And (a, b)) e rest)
+      in
+      (joined, scope, residual)
+
+(* One bound aggregate: the underlying Agg.t list (AVG yields two) plus the
+   final expression reconstructing the requested value. *)
+type bound_agg = { aggs : Agg.t list; final : Expr.t }
+
+let bind_agg scope ~fresh (f : string) (args : Slang.Ast.expr list) : bound_agg =
+  let func = agg_func_of_name f in
+  let arg_expr () =
+    match args with
+    | [ Slang.Ast.Star ] -> Expr.Lit (Value.Int 1)
+    | [ a ] -> bind_scalar scope a
+    | _ -> errf "aggregate %s expects exactly one argument" f
+  in
+  match func with
+  | Some `Sum ->
+      let o = fresh () in
+      { aggs = [ Agg.make Agg.Sum (arg_expr ()) o ]; final = Expr.Col o }
+  | Some `Count ->
+      let o = fresh () in
+      { aggs = [ Agg.make Agg.Count (arg_expr ()) o ]; final = Expr.Col o }
+  | Some `Min ->
+      let o = fresh () in
+      { aggs = [ Agg.make Agg.Min (arg_expr ()) o ]; final = Expr.Col o }
+  | Some `Max ->
+      let o = fresh () in
+      { aggs = [ Agg.make Agg.Max (arg_expr ()) o ]; final = Expr.Col o }
+  | Some `Avg ->
+      let s = fresh () and c = fresh () in
+      let arg = arg_expr () in
+      {
+        aggs = [ Agg.make Agg.Sum arg s; Agg.make Agg.Count arg c ];
+        final = Expr.Binop (Expr.Div, Expr.Col s, Expr.Col c);
+      }
+  | None -> errf "unknown aggregate function %s" f
+
+(* Rewrite a select-item expression, replacing aggregate calls with their
+   bound output columns and resolving plain columns against [scope]. *)
+let rec bind_item scope ~fresh ~acc (e : Slang.Ast.expr) : Expr.t =
+  match e with
+  | Slang.Ast.Call (f, args) when agg_func_of_name f <> None ->
+      let ba = bind_agg scope ~fresh f args in
+      acc := !acc @ ba.aggs;
+      ba.final
+  | Slang.Ast.Binop (op, a, b) ->
+      Expr.Binop (op, bind_item scope ~fresh ~acc a, bind_item scope ~fresh ~acc b)
+  | Slang.Ast.Cmp (op, a, b) ->
+      Expr.Cmp (op, bind_item scope ~fresh ~acc a, bind_item scope ~fresh ~acc b)
+  | Slang.Ast.And (a, b) ->
+      Expr.And (bind_item scope ~fresh ~acc a, bind_item scope ~fresh ~acc b)
+  | Slang.Ast.Or (a, b) ->
+      Expr.Or (bind_item scope ~fresh ~acc a, bind_item scope ~fresh ~acc b)
+  | Slang.Ast.Not a -> Expr.Not (bind_item scope ~fresh ~acc a)
+  | e -> bind_scalar scope e
+
+let default_alias i (item : Slang.Ast.select_item) =
+  match item.alias with
+  | Some a -> a
+  | None -> (
+      match item.item with
+      | Slang.Ast.Col_ref (_, c) -> c
+      | _ -> Printf.sprintf "_col%d" i)
+
+let bind_select env (sel : Slang.Ast.query) : Dag.node =
+  match sel with
+  | Slang.Ast.Select { distinct; items; from; joins; where; group_by; having }
+    ->
+      let inner_joins =
+        List.filter_map
+          (fun (s, on, outer) -> if outer then None else Some (s, on))
+          joins
+      in
+      let left_joins =
+        List.filter_map
+          (fun (s, on, outer) -> if outer then Some (s, on) else None)
+          joins
+      in
+      let input, scope, residual =
+        bind_from env from inner_joins left_joins where
+      in
+      (* DISTINCT dedupes the final result: a trailing aggregate-free
+         group-by over every output column *)
+      let dedupe (node : Dag.node) =
+        if not distinct then node
+        else
+          Dag.add env.builder
+            (Logop.Group_by { keys = Schema.names node.Dag.schema; aggs = [] })
+            [ node.Dag.id ] [ node.Dag.schema ]
+      in
+      let input =
+        match residual with
+        | None -> input
+        | Some pred ->
+            Dag.add env.builder (Logop.Filter { pred }) [ input.Dag.id ]
+              [ input.Dag.schema ]
+      in
+      (* Group-by keys: simple column references only (computed keys get a
+         pre-projection with synthetic names). *)
+      let pre_items = ref [] in
+      let keys =
+        List.mapi
+          (fun i g ->
+            match g with
+            | Slang.Ast.Col_ref (qual, name) -> resolve scope ~qual ~name
+            | e ->
+                let name = Printf.sprintf "_gk%d" i in
+                pre_items := (bind_scalar scope e, name) :: !pre_items;
+                name)
+          group_by
+      in
+      let input =
+        match !pre_items with
+        | [] -> input
+        | extra ->
+            let items =
+              List.map (fun c -> (Expr.Col c.Schema.name, c.Schema.name))
+                input.Dag.schema
+              @ List.rev extra
+            in
+            Dag.add env.builder (Logop.Project { items }) [ input.Dag.id ]
+              [ input.Dag.schema ]
+      in
+      let has_aggs = List.exists (fun it -> is_agg_call it.Slang.Ast.item) items in
+      if (not has_aggs) && group_by = [] then begin
+        (* pure projection/filter query *)
+        let bound_items =
+          List.mapi
+            (fun i it -> (bind_scalar scope it.Slang.Ast.item, default_alias i it))
+            items
+        in
+        dedupe
+          (Dag.add env.builder
+             (Logop.Project { items = bound_items })
+             [ input.Dag.id ] [ input.Dag.schema ])
+      end
+      else begin
+        (* aggregation query *)
+        let counter = ref 0 in
+        let fresh () =
+          incr counter;
+          Printf.sprintf "_a%d" !counter
+        in
+        let acc = ref [] in
+        let finals =
+          List.mapi
+            (fun i it ->
+              (bind_item scope ~fresh ~acc it.Slang.Ast.item, default_alias i it))
+            items
+        in
+        let aggs = !acc in
+        (* Use the select-item alias directly as the aggregate output name
+           when the item is exactly one aggregate call: keeps plans and
+           fingerprints readable and matches the paper's figures. *)
+        let aggs, finals =
+          let renames = Hashtbl.create 8 in
+          let aggs =
+            List.map
+              (fun (a : Agg.t) ->
+                match
+                  List.find_opt
+                    (fun (e, name) -> e = Expr.Col a.Agg.output && name <> "")
+                    finals
+                with
+                | Some (_, name)
+                  when not
+                         (List.exists
+                            (fun (a' : Agg.t) -> a'.Agg.output = name)
+                            aggs)
+                       && not (List.mem name keys) ->
+                    Hashtbl.replace renames a.Agg.output name;
+                    { a with Agg.output = name }
+                | _ -> a)
+              aggs
+          in
+          let finals =
+            List.map
+              (fun (e, name) ->
+                ( Expr.rename
+                    (fun c ->
+                      match Hashtbl.find_opt renames c with
+                      | Some n -> n
+                      | None -> c)
+                    e,
+                  name ))
+              finals
+          in
+          (aggs, finals)
+        in
+        let gb =
+          Dag.add env.builder
+            (Logop.Group_by { keys; aggs })
+            [ input.Dag.id ] [ input.Dag.schema ]
+        in
+        let gb =
+          match having with
+          | None -> gb
+          | Some h ->
+              let hscope =
+                {
+                  bindings =
+                    List.map
+                      (fun c -> (None, c.Schema.name, c.Schema.name))
+                      gb.Dag.schema;
+                }
+              in
+              let acc_h = ref [] in
+              let pred =
+                bind_item hscope
+                  ~fresh:(fun () -> errf "HAVING may only reference aliases")
+                  ~acc:acc_h h
+              in
+              if !acc_h <> [] then
+                errf "HAVING must reference aggregate aliases, not new aggregates";
+              Dag.add env.builder (Logop.Filter { pred }) [ gb.Dag.id ]
+                [ gb.Dag.schema ]
+        in
+        (* Final projection: needed when outputs are renamed, reordered or
+           computed; skipped when it would be the identity. *)
+        let identity =
+          List.length finals = List.length gb.Dag.schema
+          && List.for_all2
+               (fun (e, name) c ->
+                 e = Expr.Col c.Schema.name && name = c.Schema.name)
+               finals gb.Dag.schema
+        in
+        if identity then dedupe gb
+        else
+          dedupe
+            (Dag.add env.builder
+               (Logop.Project { items = finals })
+               [ gb.Dag.id ] [ gb.Dag.schema ])
+      end
+  | _ -> invalid_arg "bind_select"
+
+let bind_query env (q : Slang.Ast.query) : Dag.node =
+  match q with
+  | Slang.Ast.Extract { cols; file; extractor } ->
+      let file = normalize_path file in
+      let declared = List.map (fun c -> Schema.column c Schema.Tint) cols in
+      let stats = Catalog.ensure env.catalog ~path:file ~schema:declared in
+      let full = Catalog.file_schema stats in
+      (* Keep the declared column order; take types from the catalog. *)
+      let schema =
+        List.map
+          (fun c ->
+            match Schema.find c full with
+            | Some col -> col
+            | None -> errf "file %s has no column %s" file c)
+          cols
+      in
+      Dag.add env.builder (Logop.Extract { file; extractor; schema }) [] []
+  | Slang.Ast.Select _ -> bind_select env q
+  | Slang.Ast.Union_all (a, b) ->
+      let na = lookup_relation env a and nb = lookup_relation env b in
+      if not (Schema.equal na.Dag.schema nb.Dag.schema) then
+        errf "UNION ALL requires identical schemas (%s vs %s)"
+          (Schema.to_string na.Dag.schema)
+          (Schema.to_string nb.Dag.schema);
+      Dag.add env.builder Logop.Union_all [ na.Dag.id; nb.Dag.id ]
+        [ na.Dag.schema; nb.Dag.schema ]
+
+let bind ~catalog (script : Slang.Ast.script) : Dag.t =
+  let env = { catalog; builder = Dag.builder (); relations = [] } in
+  let outputs = ref [] in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Slang.Ast.Assign (name, q) ->
+          let node = bind_query env q in
+          env.relations <- (name, node) :: env.relations
+      | Slang.Ast.Output { rel; file; order } ->
+          let input = lookup_relation env rel in
+          let order =
+            List.map
+              (fun { Slang.Ast.ocol; descending } ->
+                match ocol with
+                | Slang.Ast.Col_ref (None, c) when Schema.mem c input.Dag.schema
+                  ->
+                    (c, descending)
+                | Slang.Ast.Col_ref (q, c) ->
+                    errf "ORDER BY column %s%s is not in %s's schema"
+                      (match q with Some q -> q ^ "." | None -> "")
+                      c rel
+                | _ -> errf "ORDER BY supports plain column references only")
+              order
+          in
+          let out =
+            Dag.add env.builder
+              (Logop.Output { file = normalize_path file; order })
+              [ input.Dag.id ] [ input.Dag.schema ]
+          in
+          outputs := out :: !outputs)
+    script;
+  match List.rev !outputs with
+  | [] -> errf "script has no OUTPUT statement"
+  | [ single ] -> Dag.finish env.builder ~root:single
+  | many ->
+      let root =
+        Dag.add env.builder Logop.Sequence
+          (List.map (fun n -> n.Dag.id) many)
+          (List.map (fun n -> n.Dag.schema) many)
+      in
+      Dag.finish env.builder ~root

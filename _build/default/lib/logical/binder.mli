@@ -1,0 +1,12 @@
+(** The binder: turns a parsed script into a logical operator DAG with
+    resolved column names, explicit sharing for relations consumed more
+    than once, left-deep join trees and AVG decomposition. *)
+
+exception Error of string
+
+(** Normalize a script file path to its base name (FileID identity). *)
+val normalize_path : string -> string
+
+(** Bind a script against a catalog.
+    Raises [Error] on name-resolution or shape problems. *)
+val bind : catalog:Relalg.Catalog.t -> Slang.Ast.script -> Dag.t

@@ -1,0 +1,1 @@
+lib/memo/memo.ml: Array Catalog Fmt Hashtbl Int List Relalg Schema Slogical Sphys String

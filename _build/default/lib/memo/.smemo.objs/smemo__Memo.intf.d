@@ -1,0 +1,1 @@
+lib/memo/memo.mli: Fmt Hashtbl Relalg Slogical Sphys

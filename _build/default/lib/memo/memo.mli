@@ -1,0 +1,69 @@
+(** The memo structure (Section III): groups of logically equivalent
+    expressions, each expression an operator over child group ids. At
+    construction every group holds exactly one expression; exploration
+    rules add more, and the CSE framework merges equal groups and inserts
+    spools. *)
+
+type mexpr = { mop : Slogical.Logop.t; children : int list }
+
+type group = {
+  id : int;
+  mutable exprs : mexpr list;
+  schema : Relalg.Schema.t;
+  mutable stats : Slogical.Stats.t;
+  mutable explored_phase : int;
+      (** highest phase whose exploration rules ran on this group *)
+  mutable shared : bool;
+      (** set by Algorithm 1 on spool groups rooting a shared subexpression *)
+  winners : (string, Sphys.Plan.t option) Hashtbl.t;
+      (** best plan per extended-requirement key; [None] = infeasible *)
+}
+
+type t = {
+  mutable groups : group array;
+  mutable count : int;
+  mutable root : int;
+  catalog : Relalg.Catalog.t;
+  machines : int;
+}
+
+(** Group by id; raises [Invalid_argument] on bad ids. *)
+val group : t -> int -> group
+
+val root_group : t -> group
+val size : t -> int
+val iter_groups : t -> (group -> unit) -> unit
+
+(** Derive a new expression's output statistics from its children. *)
+val derive_stats : t -> mexpr -> Relalg.Schema.t -> Slogical.Stats.t
+
+(** Append a fresh group holding one expression. *)
+val add_group : t -> mexpr -> Relalg.Schema.t -> group
+
+(** Add an equivalent expression (ignored when already present). *)
+val add_expr : group -> mexpr -> unit
+
+(** Build the initial memo from a logical DAG: one group per reachable
+    node, renumbered children-first. *)
+val of_dag : catalog:Relalg.Catalog.t -> machines:int -> Slogical.Dag.t -> t
+
+(** Child groups referenced by any expression of the group. *)
+val group_children : group -> int list
+
+(** Which groups are reachable from the root (rewrites leave dead groups
+    behind). *)
+val reachable : t -> bool array
+
+(** Distinct parents per group, counting reachable groups only. *)
+val parents : t -> int list array
+
+(** Redirect every reference to [from_] so it points to [to_]; the group
+    [except] (typically the new spool) keeps its reference. *)
+val redirect : t -> from_:int -> to_:int -> except:int -> unit
+
+(** Total number of logical expressions. *)
+val expr_count : t -> int
+
+val pp_mexpr : mexpr Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

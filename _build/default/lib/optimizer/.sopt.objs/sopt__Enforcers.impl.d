@@ -1,0 +1,1 @@
+lib/optimizer/enforcers.ml: Colset List Physop Relalg Reqprops Sortorder Sphys

@@ -1,0 +1,1 @@
+lib/optimizer/enforcers.mli: Relalg Sphys

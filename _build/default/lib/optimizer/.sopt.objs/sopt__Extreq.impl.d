@@ -1,0 +1,1 @@
+lib/optimizer/extreq.ml: Fmt List Reqprops Sphys Stdlib String

@@ -1,0 +1,1 @@
+lib/optimizer/extreq.mli: Fmt Sphys

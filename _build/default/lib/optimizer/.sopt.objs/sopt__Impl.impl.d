@@ -1,0 +1,1 @@
+lib/optimizer/impl.ml: Colset Expr List Option Physop Relalg Reqprops Slogical Smemo Sortorder Sphys String Sutil

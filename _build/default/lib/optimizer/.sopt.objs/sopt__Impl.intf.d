@@ -1,0 +1,1 @@
+lib/optimizer/impl.mli: Relalg Smemo Sphys

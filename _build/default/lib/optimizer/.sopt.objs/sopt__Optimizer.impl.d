@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Budget Enforcers Extreq Hashtbl Impl List Option Plan Plan_check Printf Reqprops Rules Scost Smemo Sphys

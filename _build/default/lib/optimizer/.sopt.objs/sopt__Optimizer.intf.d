@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Budget Extreq Scost Smemo Sphys

@@ -1,0 +1,1 @@
+lib/optimizer/rules.ml: Agg List Relalg Slogical Smemo

@@ -1,0 +1,79 @@
+open Relalg
+open Sphys
+
+(* Enforcer rules: alternatives that optimize the *same* group under a
+   strictly weaker requirement and patch the missing property on top with
+   an exchange, a sort-preserving merge exchange, a local sort, or a
+   gather.  Termination: every generated inner requirement has a strictly
+   smaller [Reqprops.weight]. *)
+
+type alt = { op : Physop.t; inner : Reqprops.t }
+
+(* Concrete partitioning sets tried for a range requirement [∅, C].  All
+   non-empty subsets for narrow C; for wide C the full set, singletons and
+   adjacent pairs (a pragmatic cap, cf. Section VIII on large scripts). *)
+let candidate_sets (c : Colset.t) =
+  let cols = Colset.to_list c in
+  if List.length cols <= 4 then Colset.nonempty_subsets c
+  else
+    let singletons = List.map Colset.singleton cols in
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> Colset.of_list [ a; b ] :: pairs rest
+      | _ -> []
+    in
+    c :: (singletons @ pairs cols)
+
+let alternatives (req : Reqprops.t) : alt list =
+  let sort_alts =
+    if Sortorder.is_empty req.Reqprops.sort then []
+    else
+      [
+        {
+          op = Physop.P_sort { order = req.Reqprops.sort };
+          inner = { req with Reqprops.sort = Sortorder.empty };
+        };
+      ]
+  in
+  let exchange_on set =
+    let plain =
+      if Sortorder.is_empty req.Reqprops.sort then
+        [
+          {
+            op = Physop.P_exchange { cols = set };
+            inner = Reqprops.none;
+          };
+        ]
+      else []
+    in
+    let merging =
+      if Sortorder.is_empty req.Reqprops.sort then []
+      else
+        [
+          {
+            op = Physop.P_merge_exchange { cols = set };
+            inner = Reqprops.make Reqprops.Any req.Reqprops.sort;
+          };
+        ]
+    in
+    plain @ merging
+  in
+  let part_alts =
+    match req.Reqprops.part with
+    | Reqprops.Any -> []
+    | Reqprops.Hash_exact e -> exchange_on e
+    | Reqprops.Hash_subset c ->
+        List.concat_map exchange_on (candidate_sets c)
+    | Reqprops.Serial_req ->
+        [
+          {
+            op = Physop.P_gather;
+            inner = Reqprops.make Reqprops.Any req.Reqprops.sort;
+          };
+        ]
+  in
+  let alts = sort_alts @ part_alts in
+  (* invariant: enforcer recursion is well-founded *)
+  List.iter
+    (fun a -> assert (Reqprops.weight a.inner < Reqprops.weight req))
+    alts;
+  alts

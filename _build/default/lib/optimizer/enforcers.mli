@@ -1,0 +1,14 @@
+(** Enforcer rules: alternatives that optimize the same group under a
+    strictly weaker requirement and patch the missing property on top
+    (hash exchange, sort-preserving merge exchange, local sort, gather).
+    Every generated inner requirement has strictly smaller
+    {!Sphys.Reqprops.weight}, so the recursion terminates. *)
+
+type alt = { op : Sphys.Physop.t; inner : Sphys.Reqprops.t }
+
+(** Concrete partition sets tried for a range requirement [∅, C]: all
+    non-empty subsets for narrow [C]; full set, singletons and adjacent
+    pairs beyond four columns. *)
+val candidate_sets : Relalg.Colset.t -> Relalg.Colset.t list
+
+val alternatives : Sphys.Reqprops.t -> alt list

@@ -1,0 +1,40 @@
+open Sphys
+
+(* Extended required properties (Section VII): the conventional requirement
+   plus [PropForSharedGrps] -- the property sets to be enforced at shared
+   groups encountered below, keyed by group id. *)
+
+type t = { req : Reqprops.t; enforce : (int * Reqprops.t) list }
+
+let plain req = { req; enforce = [] }
+
+let normalize t =
+  { t with enforce = List.sort_uniq Stdlib.compare t.enforce }
+
+let enforcement t gid = List.assoc_opt gid t.enforce
+
+(* Canonical winner-table key.  The enforcement list is part of the key so
+   that re-optimization rounds with different property assignments never
+   reuse each other's winners. *)
+let key t =
+  let t = normalize t in
+  let enf =
+    String.concat ";"
+      (List.map
+         (fun (g, p) -> string_of_int g ^ ":" ^ Reqprops.to_key p)
+         t.enforce)
+  in
+  Reqprops.to_key t.req ^ "||" ^ enf
+
+let with_req t req = { t with req }
+
+let pp ppf t =
+  Fmt.pf ppf "%a" Reqprops.pp t.req;
+  if t.enforce <> [] then
+    Fmt.pf ppf " enforce{%s}"
+      (String.concat "; "
+         (List.map
+            (fun (g, p) -> Fmt.str "%d↦%a" g Reqprops.pp p)
+            t.enforce))
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,24 @@
+(** Extended required properties (Section VII): the conventional
+    requirement plus [PropForSharedGrps] — property sets to be enforced at
+    shared groups below, keyed by group id. *)
+
+type t = { req : Sphys.Reqprops.t; enforce : (int * Sphys.Reqprops.t) list }
+
+(** No enforcement map. *)
+val plain : Sphys.Reqprops.t -> t
+
+(** Sort and deduplicate the enforcement list. *)
+val normalize : t -> t
+
+(** The property set enforced at a group, if any. *)
+val enforcement : t -> int -> Sphys.Reqprops.t option
+
+(** Canonical winner-table key; includes the enforcement map so rounds with
+    different assignments never reuse each other's winners. *)
+val key : t -> string
+
+(** Same enforcement map, different conventional requirement. *)
+val with_req : t -> Sphys.Reqprops.t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

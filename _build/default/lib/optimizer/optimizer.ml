@@ -1,0 +1,144 @@
+open Sphys
+
+(* The Cascades-style optimization engine (Algorithm 2 / Algorithm 5).
+
+   [optimize_group] memoizes a winner per (phase, extended requirement).
+   The engine is extended -- not modified -- by the CSE framework through
+   the [ext] hook record: recording the property history of shared groups
+   (Section V), overriding the requirements of shared children and
+   propagating enforcement maps (Algorithm 5), and intercepting
+   optimization at LCA groups to run re-optimization rounds
+   (Algorithm 4). *)
+
+type t = {
+  memo : Smemo.Memo.t;
+  cluster : Scost.Cluster.t;
+  budget : Budget.t;
+  mutable phase : int;
+  ext : ext;
+}
+
+and ext = {
+  (* called once per fresh (group, requirement) optimization; phase-1 CSE
+     history recording hooks in here *)
+  before_optimize : t -> Smemo.Memo.group -> Extreq.t -> unit;
+  (* Algorithm 5, lines 9-17: build the child's extended requirement from
+     the conventional DetChildProp result and the parent's enforcement
+     map *)
+  child_extreq :
+    t -> child:Smemo.Memo.group -> Reqprops.t -> Extreq.t -> Extreq.t;
+  (* Algorithm 4, lines 4-12: a [Some result] bypasses the default
+     optimization (used for LCA rounds and pinned shared groups) *)
+  intercept :
+    t ->
+    Smemo.Memo.group ->
+    Extreq.t ->
+    self:(Smemo.Memo.group -> Extreq.t -> Plan.t option) ->
+    log_phys_opt:(Smemo.Memo.group -> Extreq.t -> Plan.t option) ->
+    Plan.t option option;
+  (* called when a winner is recorded (frequency statistics, VIII-C) *)
+  after_winner : t -> Smemo.Memo.group -> Extreq.t -> Plan.t option -> unit;
+}
+
+let default_ext =
+  {
+    before_optimize = (fun _ _ _ -> ());
+    child_extreq = (fun _ ~child:_ creq _ -> Extreq.plain creq);
+    intercept = (fun _ _ _ ~self:_ ~log_phys_opt:_ -> None);
+    after_winner = (fun _ _ _ _ -> ());
+  }
+
+let create ?(ext = default_ext) ?(budget = Budget.unlimited ())
+    ~(cluster : Scost.Cluster.t) (memo : Smemo.Memo.t) =
+  { memo; cluster; budget; phase = 1; ext }
+
+let winner_key t extreq = Printf.sprintf "%d#%s" t.phase (Extreq.key extreq)
+
+(* Build a plan node for [op] over [children] in group [g]. *)
+let mk_plan t (g : Smemo.Memo.group) op children =
+  let stats = g.Smemo.Memo.stats in
+  let op_cost = Scost.Costmodel.op_cost t.cluster op children ~out:stats in
+  Plan.make ~op ~children ~group:g.Smemo.Memo.id ~schema:g.Smemo.Memo.schema
+    ~stats ~op_cost
+
+let plan_cost t p = Scost.Dagcost.cost t.cluster p
+
+let cheapest t plans =
+  List.fold_left
+    (fun best p ->
+      match best with
+      | None -> Some p
+      | Some b -> if plan_cost t p < plan_cost t b then Some p else best)
+    None plans
+
+(* A candidate is kept only if the operator's own input requirements hold
+   against the children actually delivered (enforcement may have overridden
+   what was requested) and the delivered properties satisfy the caller's
+   requirement. *)
+let valid_candidate (req : Reqprops.t) (node : Plan.t) =
+  Plan_check.check_op node = [] && Reqprops.satisfied node.Plan.props req
+
+let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
+    Plan.t option =
+  let extreq = Extreq.normalize extreq in
+  let key = winner_key t extreq in
+  match Hashtbl.find_opt g.Smemo.Memo.winners key with
+  | Some w -> w
+  | None ->
+      Budget.tick t.budget;
+      t.ext.before_optimize t g extreq;
+      let result =
+        match
+          t.ext.intercept t g extreq ~self:(optimize_group t)
+            ~log_phys_opt:(log_phys_opt t)
+        with
+        | Some r -> r
+        | None -> log_phys_opt t g extreq
+      in
+      Hashtbl.replace g.Smemo.Memo.winners key result;
+      t.ext.after_winner t g extreq result;
+      result
+
+(* Logical exploration + physical optimization of one group under one
+   requirement (the body of Algorithm 5). *)
+and log_phys_opt t (g : Smemo.Memo.group) (extreq : Extreq.t) : Plan.t option
+    =
+  Rules.explore t.memo g ~phase:t.phase;
+  let req = extreq.Extreq.req in
+  let impl_candidates =
+    List.concat_map
+      (fun (e : Smemo.Memo.mexpr) ->
+        List.filter_map
+          (fun (alt : Impl.alt) ->
+            let children =
+              List.map2
+                (fun cgid creq ->
+                  let child = Smemo.Memo.group t.memo cgid in
+                  let cext = t.ext.child_extreq t ~child creq extreq in
+                  optimize_group t child cext)
+                e.Smemo.Memo.children alt.Impl.child_reqs
+            in
+            if List.for_all Option.is_some children then
+              let node = mk_plan t g alt.Impl.op (List.map Option.get children) in
+              if valid_candidate req node then Some node else None
+            else None)
+          (Impl.alternatives e req))
+      g.Smemo.Memo.exprs
+  in
+  let enforcer_candidates =
+    List.filter_map
+      (fun (alt : Enforcers.alt) ->
+        match
+          optimize_group t g (Extreq.with_req extreq alt.Enforcers.inner)
+        with
+        | None -> None
+        | Some inner ->
+            let node = mk_plan t g alt.Enforcers.op [ inner ] in
+            if valid_candidate req node then Some node else None)
+      (Enforcers.alternatives req)
+  in
+  cheapest t (impl_candidates @ enforcer_candidates)
+
+(* Entry point: optimize the whole memo for the current phase. *)
+let optimize_root t =
+  optimize_group t (Smemo.Memo.root_group t.memo) (Extreq.plain Reqprops.none)

@@ -1,0 +1,69 @@
+(** The Cascades-style optimization engine (Algorithms 2 and 5).
+
+    {!optimize_group} memoizes one winner per (phase, extended
+    requirement). The engine is extended — not modified — by the CSE
+    framework through the {!ext} hook record: phase-1 history recording
+    (Section V), enforcement-map propagation to children (Algorithm 5),
+    and interception at LCA groups to run re-optimization rounds
+    (Algorithm 4). *)
+
+type t = {
+  memo : Smemo.Memo.t;
+  cluster : Scost.Cluster.t;
+  budget : Budget.t;
+  mutable phase : int;
+  ext : ext;
+}
+
+and ext = {
+  before_optimize : t -> Smemo.Memo.group -> Extreq.t -> unit;
+      (** called once per fresh (group, requirement) optimization *)
+  child_extreq :
+    t -> child:Smemo.Memo.group -> Sphys.Reqprops.t -> Extreq.t -> Extreq.t;
+      (** Algorithm 5, lines 9-17: the child's extended requirement from
+          the conventional DetChildProp result and the parent's map *)
+  intercept :
+    t ->
+    Smemo.Memo.group ->
+    Extreq.t ->
+    self:(Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option) ->
+    log_phys_opt:(Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option) ->
+    Sphys.Plan.t option option;
+      (** Algorithm 4, lines 4-12: [Some result] bypasses the default
+          optimization (LCA rounds and pinned shared groups) *)
+  after_winner : t -> Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option -> unit;
+      (** called when a winner is recorded (VIII-C frequencies) *)
+}
+
+(** Hooks that do nothing: the conventional optimizer. *)
+val default_ext : ext
+
+val create :
+  ?ext:ext -> ?budget:Budget.t -> cluster:Scost.Cluster.t -> Smemo.Memo.t -> t
+
+(** Build a costed plan node for an operator over child plans in a
+    group. *)
+val mk_plan :
+  t -> Smemo.Memo.group -> Sphys.Physop.t -> Sphys.Plan.t list -> Sphys.Plan.t
+
+(** DAG-deduplicated cost used for every plan comparison. *)
+val plan_cost : t -> Sphys.Plan.t -> float
+
+(** Cheapest of a candidate list by {!plan_cost}. *)
+val cheapest : t -> Sphys.Plan.t list -> Sphys.Plan.t option
+
+(** The candidate filter: the operator's own input requirements hold
+    against what the children actually deliver, and the delivered
+    properties satisfy the caller's requirement. *)
+val valid_candidate : Sphys.Reqprops.t -> Sphys.Plan.t -> bool
+
+(** OptimizeGroup (Algorithm 2): best plan of a group under an extended
+    requirement, memoized per phase. *)
+val optimize_group : t -> Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option
+
+(** Logical exploration + physical optimization of one group under one
+    requirement — the body of Algorithm 5 (no winner lookup). *)
+val log_phys_opt : t -> Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option
+
+(** Optimize the memo's root with no requirement. *)
+val optimize_root : t -> Sphys.Plan.t option

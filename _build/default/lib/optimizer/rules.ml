@@ -1,0 +1,55 @@
+(* Logical exploration rules.
+
+   The rule set is small but it is the one that matters for the paper's
+   plan space:
+
+   - [gb_split]: GroupBy(keys; aggs) => GroupByGlobal(keys; combine(aggs))
+     over a new group holding GroupByLocal(keys; aggs).  This is the
+     local/global aggregation rewrite that produces the
+     StreamAgg(Local) / exchange / StreamAgg(Global) plans of Figure 8.
+
+   Join commutation is intentionally not a logical rule here: it would
+   permute the group's output column order (the row layout is positional);
+   build/probe side selection is a physical concern instead. *)
+
+open Relalg
+
+(* Apply all rules of [phase] to group [g], adding new expressions (and
+   possibly new groups) to the memo.  Idempotent per group and phase. *)
+let explore (memo : Smemo.Memo.t) (g : Smemo.Memo.group) ~phase =
+  if g.Smemo.Memo.explored_phase >= phase then ()
+  else begin
+    g.Smemo.Memo.explored_phase <- phase;
+    let originals = g.Smemo.Memo.exprs in
+    List.iter
+      (fun (e : Smemo.Memo.mexpr) ->
+        match e.Smemo.Memo.mop with
+        | Slogical.Logop.Group_by { keys; aggs }
+          when not
+                 (List.exists
+                    (fun (e' : Smemo.Memo.mexpr) ->
+                      match e'.Smemo.Memo.mop with
+                      | Slogical.Logop.Group_by_global _ -> true
+                      | _ -> false)
+                    g.Smemo.Memo.exprs) ->
+            let child = List.hd e.Smemo.Memo.children in
+            let child_schema = (Smemo.Memo.group memo child).Smemo.Memo.schema in
+            let local_op = Slogical.Logop.Group_by_local { keys; aggs } in
+            let local_schema =
+              Slogical.Logop.derive_schema local_op [ child_schema ]
+            in
+            let local_group =
+              Smemo.Memo.add_group memo
+                { Smemo.Memo.mop = local_op; children = [ child ] }
+                local_schema
+            in
+            let global_aggs = List.map Agg.global_combinator aggs in
+            Smemo.Memo.add_expr g
+              {
+                Smemo.Memo.mop =
+                  Slogical.Logop.Group_by_global { keys; aggs = global_aggs };
+                children = [ local_group.Smemo.Memo.id ];
+              }
+        | _ -> ())
+      originals
+  end

@@ -1,0 +1,1 @@
+lib/physical/partition.ml: Colset Fmt List Option Relalg

@@ -1,0 +1,1 @@
+lib/physical/partition.mli: Fmt Relalg

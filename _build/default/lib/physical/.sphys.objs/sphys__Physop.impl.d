@@ -1,0 +1,1 @@
+lib/physical/physop.ml: Agg Colset Expr Fmt List Partition Props Relalg Schema Slogical Sortorder String

@@ -1,0 +1,1 @@
+lib/physical/physop.mli: Fmt Props Relalg Slogical Sortorder

@@ -1,0 +1,1 @@
+lib/physical/plan.ml: List Physop Props Relalg Schema Slogical

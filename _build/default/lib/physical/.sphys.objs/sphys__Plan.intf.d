@@ -1,0 +1,1 @@
+lib/physical/plan.mli: Physop Props Relalg Slogical

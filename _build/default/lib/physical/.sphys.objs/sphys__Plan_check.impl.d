@@ -1,0 +1,1 @@
+lib/physical/plan_check.ml: Agg Colset Expr Fmt List Option Partition Physop Plan Printf Props Relalg Schema Sortorder String Sutil

@@ -1,0 +1,1 @@
+lib/physical/plan_check.mli: Fmt Plan

@@ -1,0 +1,1 @@
+lib/physical/plan_pp.ml: Buffer Fmt Hashtbl List Physop Plan Printf Props Slogical String

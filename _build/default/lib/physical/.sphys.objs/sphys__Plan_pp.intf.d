@@ -1,0 +1,1 @@
+lib/physical/plan_pp.mli: Fmt Plan

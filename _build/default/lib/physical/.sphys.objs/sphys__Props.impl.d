@@ -1,0 +1,1 @@
+lib/physical/props.ml: Colset Fmt Partition Relalg Sortorder

@@ -1,0 +1,1 @@
+lib/physical/props.mli: Fmt Partition Relalg Sortorder

@@ -1,0 +1,1 @@
+lib/physical/reqprops.ml: Colset Fmt Partition Props Relalg Sortorder

@@ -1,0 +1,1 @@
+lib/physical/reqprops.mli: Fmt Partition Props Relalg Sortorder

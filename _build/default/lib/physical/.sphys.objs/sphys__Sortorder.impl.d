@@ -1,0 +1,1 @@
+lib/physical/sortorder.ml: Fmt List Relalg String

@@ -1,0 +1,1 @@
+lib/physical/sortorder.mli: Fmt Relalg

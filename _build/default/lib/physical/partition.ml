@@ -1,0 +1,39 @@
+open Relalg
+
+(* Delivered partitioning of a data stream across the cluster.
+
+   The hash function used by exchanges combines per-column value hashes
+   commutatively, so a [Hashed s] stream's placement depends only on the
+   column *set* [s]: two inputs hashed on sets linked one-to-one by join
+   equality predicates are co-located. *)
+
+type t =
+  | Serial (* all rows on a single machine *)
+  | Roundrobin (* spread across machines with no column correlation *)
+  | Hashed of Colset.t (* hash-partitioned on the column set *)
+
+let equal a b =
+  match (a, b) with
+  | Serial, Serial | Roundrobin, Roundrobin -> true
+  | Hashed x, Hashed y -> Colset.equal x y
+  | _ -> false
+
+(* Rename columns through a partial mapping.  When any partition column is
+   no longer expressible in the new schema the partitioning degrades to
+   [Roundrobin]: the data layout is unchanged but can no longer be relied
+   upon. *)
+let rename f t =
+  match t with
+  | Serial | Roundrobin -> t
+  | Hashed s -> (
+      let mapped = List.map f (Colset.to_list s) in
+      if List.for_all Option.is_some mapped then
+        Hashed (Colset.of_list (List.map Option.get mapped))
+      else Roundrobin)
+
+let pp ppf = function
+  | Serial -> Fmt.string ppf "serial"
+  | Roundrobin -> Fmt.string ppf "roundrobin"
+  | Hashed s -> Fmt.pf ppf "hash%a" Colset.pp s
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,20 @@
+(** Delivered partitioning of a data stream across the simulated cluster.
+
+    The hash function used by exchanges combines per-column value hashes
+    commutatively, so a [Hashed s] stream's placement depends only on the
+    column {e set} [s]; two streams hashed on column sets linked pairwise
+    by join equality predicates are co-located. *)
+
+type t =
+  | Serial  (** all rows on a single machine *)
+  | Roundrobin  (** spread across machines with no column correlation *)
+  | Hashed of Relalg.Colset.t  (** hash-partitioned on the column set *)
+
+val equal : t -> t -> bool
+
+(** Rename partition columns through a partial mapping; if any column
+    becomes inexpressible the partitioning degrades to [Roundrobin]. *)
+val rename : (string -> string option) -> t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

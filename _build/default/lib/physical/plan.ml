@@ -1,0 +1,38 @@
+open Relalg
+
+(* Physical plans.  A plan node records the memo group it implements so
+   that DAG-aware costing can recognize two references to the same shared
+   (spool) subplan.  [cost] is the conventional *tree-wise* total used
+   during search; [Dagcost] in the cost library computes the final
+   deduplicated cost of CSE plans. *)
+
+type t = {
+  op : Physop.t;
+  children : t list;
+  group : int; (* memo group this plan implements; -1 when synthetic *)
+  schema : Schema.t;
+  props : Props.t; (* delivered physical properties *)
+  stats : Slogical.Stats.t; (* estimated output stats *)
+  op_cost : float; (* this operator's own estimated cost *)
+  cost : float; (* tree-wise total: op_cost + sum of child costs *)
+}
+
+let make ~op ~children ~group ~schema ~stats ~op_cost =
+  let props =
+    Physop.deliver op schema (List.map (fun c -> c.props) children)
+  in
+  let cost =
+    List.fold_left (fun acc c -> acc +. c.cost) op_cost children
+  in
+  { op; children; group; schema; props; stats; op_cost; cost }
+
+(* Fold over every node (parents after children); shared subtrees are
+   visited once per reference. *)
+let rec fold f acc t =
+  let acc = List.fold_left (fold f) acc t.children in
+  f acc t
+
+let count_ops pred t = fold (fun n node -> if pred node.op then n + 1 else n) 0 t
+
+(* Operators of the plan as a list, leaves first. *)
+let operators t = List.rev (fold (fun acc n -> n.op :: acc) [] t)

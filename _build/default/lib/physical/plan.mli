@@ -1,0 +1,40 @@
+(** Physical plans.
+
+    A plan node records the memo group it implements so DAG-aware costing
+    and printing can recognize two references to one shared (spool)
+    subplan. [cost] is the tree-wise total used during search;
+    [Scost.Dagcost] computes the deduplicated cost of plans with shared
+    spools. *)
+
+type t = {
+  op : Physop.t;
+  children : t list;
+  group : int;  (** memo group this plan implements; [-1] when synthetic *)
+  schema : Relalg.Schema.t;
+  props : Props.t;  (** delivered physical properties *)
+  stats : Slogical.Stats.t;  (** estimated output statistics *)
+  op_cost : float;  (** this operator's own estimated cost *)
+  cost : float;  (** tree-wise total: [op_cost] + children's [cost] *)
+}
+
+(** Build a node, deriving [props] via {!Physop.deliver} and [cost]
+    additively. *)
+val make :
+  op:Physop.t ->
+  children:t list ->
+  group:int ->
+  schema:Relalg.Schema.t ->
+  stats:Slogical.Stats.t ->
+  op_cost:float ->
+  t
+
+(** Fold over every node, children before parents; shared subtrees are
+    visited once per reference. *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Number of nodes whose operator satisfies the predicate (per
+    reference). *)
+val count_ops : (Physop.t -> bool) -> t -> int
+
+(** All operators, leaves first (per reference). *)
+val operators : t -> Physop.t list

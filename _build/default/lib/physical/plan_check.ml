@@ -1,0 +1,157 @@
+open Relalg
+
+(* Independent plan validity checker.
+
+   Re-derives delivered properties bottom-up and verifies that every
+   operator's input requirements hold: stream aggregation really receives
+   input sorted on its keys and partitioned on a key subset, joins really
+   receive co-partitioned (and, for merge joins, compatibly sorted) inputs,
+   and so on.  Tests run every plan the optimizer emits through this
+   checker, so a property-propagation bug cannot silently produce wrong
+   plans that merely look cheap. *)
+
+type violation = { where : string; what : string }
+
+let v where what = { where; what }
+
+let part_within (p : Partition.t) (cols : Colset.t) =
+  match p with
+  | Partition.Serial -> true
+  | Partition.Hashed s -> (not (Colset.is_empty s)) && Colset.subset s cols
+  | Partition.Roundrobin -> false
+
+(* The sort order's first [n] columns cover exactly the key set (any
+   permutation of the keys is an acceptable grouping order). *)
+let sorted_on_keys (sort : Sortorder.t) keys =
+  let keyset = Colset.of_list keys in
+  let prefix = Sutil.Combi.take (List.length keys) (List.map fst sort) in
+  List.length prefix = List.length keys
+  && Colset.equal (Colset.of_list prefix) keyset
+
+(* Aligned co-partitioning for a join: some subset of the equality pairs
+   maps the left partitioning set one-to-one onto the right one. *)
+let co_partitioned pairs (l : Partition.t) (r : Partition.t) =
+  match (l, r) with
+  | Partition.Serial, Partition.Serial -> true
+  | Partition.Hashed ls, Partition.Hashed rs ->
+      (not (Colset.is_empty ls))
+      && (let mapped =
+            List.filter_map
+              (fun (a, b) -> if Colset.mem a ls then Some b else None)
+              pairs
+          in
+          (* every left partition column is a pair column, and the pairs
+             involving them produce exactly the right set *)
+          List.for_all
+            (fun c -> List.exists (fun (a, _) -> a = c) pairs)
+            (Colset.to_list ls)
+          && Colset.equal (Colset.of_list mapped) rs
+          && Colset.cardinal ls = List.length mapped)
+  | _ -> false
+
+(* Aligned sorting for a merge join: the two sort prefixes follow the same
+   pair order. *)
+let merge_sorted pairs (ls : Sortorder.t) (rs : Sortorder.t) =
+  let k = List.length pairs in
+  let lp = Sutil.Combi.take k ls and rp = Sutil.Combi.take k rs in
+  List.length lp = k
+  && List.length rp = k
+  && List.for_all2
+       (fun (lc, ld) (rc, rd) -> ld = rd && List.mem (lc, rc) pairs)
+       lp rp
+
+let check_op (n : Plan.t) : violation list =
+  let where = Physop.to_string n.Plan.op in
+  let child_schemas = List.map (fun c -> c.Plan.schema) n.Plan.children in
+  let child_props = List.map (fun c -> c.Plan.props) n.Plan.children in
+  let errs = ref [] in
+  let err what = errs := v where what :: !errs in
+  let require_cols schema cols what =
+    List.iter
+      (fun c ->
+        if not (Schema.mem c schema) then
+          err (Printf.sprintf "%s references missing column %s" what c))
+      (Colset.to_list cols)
+  in
+  (match (n.Plan.op, child_schemas, child_props) with
+  | Physop.P_extract _, [], [] -> ()
+  | Physop.P_extract _, _, _ -> err "extract must be a leaf"
+  | Physop.P_filter { pred }, [ s ], _ ->
+      require_cols s (Expr.columns pred) "filter predicate"
+  | Physop.P_project { items }, [ s ], _ ->
+      List.iter
+        (fun (e, _) -> require_cols s (Expr.columns e) "projection item")
+        items
+  | (Physop.P_stream_agg { keys; aggs; scope } | Physop.P_hash_agg { keys; aggs; scope }),
+    [ s ], [ p ] ->
+      require_cols s (Colset.of_list keys) "grouping key";
+      List.iter
+        (fun a -> require_cols s (Expr.columns a.Agg.arg) "aggregate argument")
+        aggs;
+      (match n.Plan.op with
+      | Physop.P_stream_agg _ when not (sorted_on_keys p.Props.sort keys) ->
+          err
+            (Printf.sprintf "stream aggregation needs input sorted on keys; got %s"
+               (Sortorder.to_string p.Props.sort))
+      | _ -> ());
+      (match scope with
+      | Physop.Local -> ()
+      | Physop.Global | Physop.Full ->
+          if not (part_within p.Props.part (Colset.of_list keys)) then
+            err
+              (Printf.sprintf
+                 "global aggregation needs input partitioned within keys; got %s"
+                 (Partition.to_string p.Props.part)))
+  | ( (Physop.P_merge_join { pairs; residual; _ } | Physop.P_hash_join { pairs; residual; _ }),
+      [ ls; rs ],
+      [ lp; rp ] ) ->
+      List.iter
+        (fun (a, b) ->
+          if not (Schema.mem a ls) then err ("missing left join column " ^ a);
+          if not (Schema.mem b rs) then err ("missing right join column " ^ b))
+        pairs;
+      Option.iter
+        (fun e -> require_cols (ls @ rs) (Expr.columns e) "join residual")
+        residual;
+      if not (co_partitioned pairs lp.Props.part rp.Props.part) then
+        err
+          (Printf.sprintf "join inputs not co-partitioned: %s vs %s"
+             (Partition.to_string lp.Props.part)
+             (Partition.to_string rp.Props.part));
+      (match n.Plan.op with
+      | Physop.P_merge_join _
+        when not (merge_sorted pairs lp.Props.sort rp.Props.sort) ->
+          err "merge join inputs not sorted on aligned join keys"
+      | _ -> ())
+  | Physop.P_union_all, [ ls; rs ], _ ->
+      if Schema.names ls <> Schema.names rs then err "union schema mismatch"
+  | (Physop.P_spool | Physop.P_output _), [ _ ], _ -> ()
+  | Physop.P_sequence, _, _ -> ()
+  | Physop.P_exchange { cols }, [ s ], _ | Physop.P_merge_exchange { cols }, [ s ], _
+    ->
+      require_cols s cols "exchange key";
+      if Colset.is_empty cols then err "exchange on empty column set"
+  | Physop.P_sort { order }, [ s ], _ ->
+      require_cols s (Sortorder.columns order) "sort key"
+  | Physop.P_gather, [ _ ], _ -> ()
+  | op, _, _ ->
+      err
+        (Printf.sprintf "%s has %d children" (Physop.short_name op)
+           (List.length child_schemas)));
+  (* delivered properties recorded on the node must match re-derivation *)
+  let derived = Physop.deliver n.Plan.op n.Plan.schema child_props in
+  if not (Props.equal derived n.Plan.props) then
+    err
+      (Printf.sprintf "delivered properties mismatch: recorded %s, derived %s"
+         (Props.to_string n.Plan.props)
+         (Props.to_string derived));
+  !errs
+
+let validate (t : Plan.t) : (unit, violation list) result =
+  let errs = Plan.fold (fun acc n -> check_op n @ acc) [] t in
+  match errs with [] -> Ok () | errs -> Error errs
+
+let pp_violation ppf { where; what } = Fmt.pf ppf "%s: %s" where what
+
+let violations_to_string errs =
+  String.concat "\n" (List.map (fun e -> Fmt.str "%a" pp_violation e) errs)

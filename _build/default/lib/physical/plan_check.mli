@@ -1,0 +1,21 @@
+(** Independent plan validity checker.
+
+    Verifies every operator's input requirements against the properties its
+    children actually deliver: stream aggregations receive input sorted on
+    their keys and partitioned within them, joins receive co-partitioned
+    (and, for merge joins, compatibly sorted) inputs, referenced columns
+    exist, and recorded delivered properties match re-derivation. The
+    optimizer uses {!check_op} to vet each candidate; tests run whole plans
+    through {!validate}. *)
+
+type violation = { where : string; what : string }
+
+(** All violations local to one plan node (children are not recursed
+    into). *)
+val check_op : Plan.t -> violation list
+
+(** Check the whole plan; [Ok ()] when no operator is violated. *)
+val validate : Plan.t -> (unit, violation list) result
+
+val pp_violation : violation Fmt.t
+val violations_to_string : violation list -> string

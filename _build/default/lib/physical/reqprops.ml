@@ -1,0 +1,70 @@
+open Relalg
+
+(* Required physical properties.
+
+   SCOPE expresses partitioning requirements as a *range* [∅, C]: any
+   non-empty subset of C is acceptable because a stream hash-partitioned on
+   S ⊆ C is also partitioned on C (all rows agreeing on C agree on S, hence
+   are co-located).  [Hash_exact] is the closed form used when the CSE
+   framework *enforces* a specific scheme at a shared group (Section VII). *)
+
+type part_req =
+  | Any
+  | Serial_req
+  | Hash_subset of Colset.t (* the range [∅, C]; C must be non-empty *)
+  | Hash_exact of Colset.t
+
+type t = { part : part_req; sort : Sortorder.t }
+
+let none = { part = Any; sort = Sortorder.empty }
+
+let make part sort = { part; sort }
+
+let equal a b = a = b
+
+let part_satisfied (delivered : Partition.t) (req : part_req) =
+  match (req, delivered) with
+  | Any, _ -> true
+  | Serial_req, Partition.Serial -> true
+  | Serial_req, _ -> false
+  | Hash_subset c, Partition.Hashed s ->
+      (not (Colset.is_empty s)) && Colset.subset s c
+  | Hash_subset _, Partition.Serial ->
+      true (* a single partition trivially co-locates every group *)
+  | Hash_subset _, Partition.Roundrobin -> false
+  | Hash_exact e, Partition.Hashed s -> Colset.equal e s
+  | Hash_exact _, (Partition.Serial | Partition.Roundrobin) -> false
+
+(* PropertySatisfied of Algorithm 2: delivered properties meet the
+   requirement. *)
+let satisfied (delivered : Props.t) (req : t) =
+  part_satisfied delivered.Props.part req.part
+  && Sortorder.prefix req.sort delivered.Props.sort
+
+(* Weight used to prove enforcer recursion terminates: each enforcer
+   optimizes the same group under a strictly smaller requirement. *)
+let weight t =
+  (match t.part with Any -> 0 | Serial_req | Hash_subset _ | Hash_exact _ -> 2)
+  + if Sortorder.is_empty t.sort then 0 else 1
+
+(* Canonical key for winner memoization. *)
+let to_key t =
+  let part =
+    match t.part with
+    | Any -> "any"
+    | Serial_req -> "serial"
+    | Hash_subset c -> "sub" ^ Colset.to_string c
+    | Hash_exact e -> "ex" ^ Colset.to_string e
+  in
+  part ^ "|" ^ Sortorder.to_string t.sort
+
+let pp_part ppf = function
+  | Any -> Fmt.string ppf "any"
+  | Serial_req -> Fmt.string ppf "serial"
+  | Hash_subset c -> Fmt.pf ppf "[∅,%a]" Colset.pp c
+  | Hash_exact e -> Fmt.pf ppf "=%a" Colset.pp e
+
+let pp ppf t =
+  Fmt.pf ppf "⟨part %a; sort %a⟩" pp_part t.part Sortorder.pp t.sort
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,46 @@
+(* Sort order of rows within each partition: an ordered list of columns
+   with directions. *)
+
+type dir = Asc | Desc
+
+type t = (string * dir) list
+
+let empty : t = []
+let is_empty (t : t) = t = []
+
+let columns (t : t) = Relalg.Colset.of_list (List.map fst t)
+
+let equal (a : t) (b : t) = a = b
+
+(* [prefix a b]: [a] is a prefix of [b]; a stream sorted on [b] satisfies a
+   requirement for sort order [a]. *)
+let rec prefix (a : t) (b : t) =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> x = y && prefix a' b'
+
+(* Ascending order on the given columns. *)
+let asc cols : t = List.map (fun c -> (c, Asc)) cols
+
+(* Longest prefix whose columns all pass the predicate (used to derive the
+   surviving sort order through projections and aggregations). *)
+let rec retained_prefix keep (t : t) =
+  match t with
+  | (c, d) :: rest when keep c -> (c, d) :: retained_prefix keep rest
+  | _ -> []
+
+(* Rename columns through a partial mapping; the order is cut at the first
+   column that is no longer expressible. *)
+let rec rename f (t : t) =
+  match t with
+  | [] -> []
+  | (c, d) :: rest -> (
+      match f c with Some c' -> (c', d) :: rename f rest | None -> [])
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%s)"
+    (String.concat ", "
+       (List.map (fun (c, d) -> c ^ (match d with Asc -> "" | Desc -> " desc")) t))
+
+let to_string t = Fmt.str "%a" pp t

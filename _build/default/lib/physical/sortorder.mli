@@ -1,0 +1,29 @@
+(** Sort order of rows within each partition. *)
+
+type dir = Asc | Desc
+
+type t = (string * dir) list
+
+val empty : t
+val is_empty : t -> bool
+
+(** Column set mentioned by the order. *)
+val columns : t -> Relalg.Colset.t
+
+val equal : t -> t -> bool
+
+(** [prefix a b]: a stream sorted on [b] satisfies a requirement for [a]. *)
+val prefix : t -> t -> bool
+
+(** Ascending order on the given columns. *)
+val asc : string list -> t
+
+(** Longest prefix whose columns all satisfy the predicate. *)
+val retained_prefix : (string -> bool) -> t -> t
+
+(** Rename through a partial mapping, cutting at the first inexpressible
+    column. *)
+val rename : (string -> string option) -> t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

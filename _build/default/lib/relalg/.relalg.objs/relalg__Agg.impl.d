@@ -1,0 +1,1 @@
+lib/relalg/agg.ml: Expr Fmt Schema Value

@@ -1,0 +1,1 @@
+lib/relalg/agg.mli: Expr Fmt Schema Value

@@ -1,0 +1,1 @@
+lib/relalg/catalog.ml: Colset Hashtbl List Schema

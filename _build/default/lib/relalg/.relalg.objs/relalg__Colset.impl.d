@@ -1,0 +1,1 @@
+lib/relalg/colset.ml: Fmt List Stdlib String Sutil

@@ -1,0 +1,1 @@
+lib/relalg/colset.mli: Fmt

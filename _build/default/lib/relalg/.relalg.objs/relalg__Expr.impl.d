@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Array Colset Fmt Schema Value

@@ -1,0 +1,1 @@
+lib/relalg/table.ml: Agg Array Expr Fmt Hashtbl List Schema Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relalg/table.mli: Agg Expr Fmt Schema Value

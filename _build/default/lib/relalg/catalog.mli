@@ -1,0 +1,41 @@
+(** File catalog: per-file row counts, widths and per-column NDV statistics
+    feeding both cardinality estimation and synthetic data generation. *)
+
+type col_stats = { col : Schema.column; ndv : int }
+
+type file_stats = {
+  path : string;
+  rows : int;
+  row_bytes : int;
+  columns : col_stats list;
+}
+
+type t
+
+val create : unit -> t
+val register : t -> file_stats -> unit
+val find : t -> string -> file_stats option
+
+(** Schema induced by the catalog entry. *)
+val file_schema : file_stats -> Schema.t
+
+(** NDV of a column; a coarse default when the column is unknown. *)
+val col_ndv : file_stats -> string -> int
+
+(** NDV of a combined key under the independence assumption, capped by the
+    row count. *)
+val colset_ndv : file_stats -> Colset.t -> int
+
+val mk_file :
+  path:string ->
+  rows:int ->
+  row_bytes:int ->
+  (string * Schema.coltype * int) list ->
+  file_stats
+
+(** Catalog pre-populated with the statistics used by the paper-script
+    experiments ([test.log], [test2.log]). *)
+val default : unit -> t
+
+(** Look up a file, registering synthetic default statistics when absent. *)
+val ensure : t -> path:string -> schema:Schema.t -> file_stats

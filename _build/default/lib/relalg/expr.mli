@@ -1,0 +1,42 @@
+(** Scalar expressions and predicates over named columns. *)
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Col of string
+  | Lit of Value.t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val col : string -> t
+val int_lit : int -> t
+val str_lit : string -> t
+
+(** Columns referenced by the expression. *)
+val columns : t -> Colset.t
+
+(** Rename every column reference through the given function. *)
+val rename : (string -> string) -> t -> t
+
+(** Evaluate against a row laid out per the schema.
+    Raises [Not_found] when a referenced column is missing. *)
+val eval : Schema.t -> Value.t array -> t -> Value.t
+
+(** Evaluate as a predicate (SQL-ish truthiness). *)
+val eval_pred : Schema.t -> Value.t array -> t -> bool
+
+val infer_type : Schema.t -> t -> Schema.coltype
+
+(** Extract the [(left_col, right_col)] pairs of a pure conjunctive
+    equality predicate; [None] when the predicate has any other shape. *)
+val equi_pairs : t -> (string * string) list option
+
+val pp_binop : binop Fmt.t
+val pp_cmpop : cmpop Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

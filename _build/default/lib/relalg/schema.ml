@@ -1,0 +1,41 @@
+type coltype = Tint | Tfloat | Tstr
+
+type column = { name : string; ty : coltype }
+
+type t = column list
+
+let column name ty = { name; ty }
+
+let names (s : t) = List.map (fun c -> c.name) s
+
+let colset (s : t) = Colset.of_list (names s)
+
+let arity = List.length
+
+let mem name (s : t) = List.exists (fun c -> c.name = name) s
+
+let find name (s : t) = List.find_opt (fun c -> c.name = name) s
+
+(* Position of a column in the row layout; raises [Not_found]. *)
+let index name (s : t) =
+  let rec loop i = function
+    | [] -> raise Not_found
+    | c :: rest -> if c.name = name then i else loop (i + 1) rest
+  in
+  loop 0 s
+
+let index_opt name s = try Some (index name s) with Not_found -> None
+
+let equal (a : t) (b : t) = a = b
+
+let pp_coltype ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tfloat -> Fmt.string ppf "float"
+  | Tstr -> Fmt.string ppf "string"
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "(%s)"
+    (String.concat ", "
+       (List.map (fun c -> Fmt.str "%s:%a" c.name pp_coltype c.ty) s))
+
+let to_string s = Fmt.str "%a" pp s

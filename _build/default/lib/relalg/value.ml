@@ -1,0 +1,85 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+
+(* Total order: Null < Int < Float < Str; ints and floats compare
+   numerically against each other so that Sum results stay comparable. *)
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Float x, Float y -> Float.compare x y
+  | (Int _ | Float _), Str _ -> -1
+  | Str _, (Int _ | Float _) -> 1
+  | Str x, Str y -> String.compare x y
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Int x -> Hashtbl.hash x
+  | Float x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+
+let is_truthy = function
+  | Null -> false
+  | Int x -> x <> 0
+  | Float x -> x <> 0.0
+  | Str s -> s <> ""
+
+let to_float = function
+  | Int x -> float_of_int x
+  | Float x -> x
+  | Null -> 0.0
+  | Str _ -> invalid_arg "Value.to_float: string value"
+
+let add a b =
+  match (a, b) with
+  | Null, x | x, Null -> x
+  | Int x, Int y -> Int (x + y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a +. to_float b)
+  | Str x, Str y -> Str (x ^ y)
+  | _ -> invalid_arg "Value.add: incompatible values"
+
+let sub a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x - y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a -. to_float b)
+  | _ -> invalid_arg "Value.sub: non-numeric values"
+
+let mul a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x * y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a *. to_float b)
+  | _ -> invalid_arg "Value.mul: non-numeric values"
+
+let div a b =
+  match (a, b) with
+  | _, Int 0 -> Null
+  | _, Float 0.0 -> Null
+  | Int x, Int y -> Int (x / y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a /. to_float b)
+  | _ -> invalid_arg "Value.div: non-numeric values"
+
+let modulo a b =
+  match (a, b) with
+  | _, Int 0 -> Null
+  | Int x, Int y -> Int (x mod y)
+  | _ -> invalid_arg "Value.modulo: non-integer values"
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "NULL"
+  | Int x -> Fmt.int ppf x
+  | Float x -> Fmt.float ppf x
+  | Str s -> Fmt.pf ppf "%S" s
+
+let to_string v = Fmt.str "%a" pp v

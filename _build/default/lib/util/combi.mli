@@ -1,0 +1,19 @@
+(** Subset / permutation / product enumeration over short lists. *)
+
+(** All subsets, preserving relative element order. [2^n] results. *)
+val subsets : 'a list -> 'a list list
+
+(** All non-empty subsets. [2^n - 1] results. *)
+val nonempty_subsets : 'a list -> 'a list list
+
+(** All permutations. [n!] results. *)
+val permutations : 'a list -> 'a list list
+
+(** Cartesian product of choice lists; first list varies slowest. *)
+val product : 'a list list -> 'a list list
+
+(** First [n] elements (all of them when shorter). *)
+val take : int -> 'a list -> 'a list
+
+(** All but the first [n] elements. *)
+val drop : int -> 'a list -> 'a list

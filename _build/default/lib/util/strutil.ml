@@ -1,0 +1,16 @@
+(* String helpers shared across the pretty-printers. *)
+
+let concat_map sep f xs = String.concat sep (List.map f xs)
+
+let indent n s =
+  let pad = String.make n ' ' in
+  String.split_on_char '\n' s
+  |> List.map (fun line -> if line = "" then line else pad ^ line)
+  |> String.concat "\n"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let percent ~base x =
+  if base = 0.0 then 0.0 else 100.0 *. x /. base

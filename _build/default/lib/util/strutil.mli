@@ -1,0 +1,11 @@
+(** Small string helpers for the pretty-printers. *)
+
+val concat_map : string -> ('a -> string) -> 'a list -> string
+
+(** Prefix every non-empty line with [n] spaces. *)
+val indent : int -> string -> string
+
+val starts_with : prefix:string -> string -> bool
+
+(** [percent ~base x] is [100 * x / base] (0 when [base] is 0). *)
+val percent : base:float -> float -> float

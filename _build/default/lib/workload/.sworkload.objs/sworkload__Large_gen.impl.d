@@ -1,0 +1,1 @@
+lib/workload/large_gen.ml: Array Buffer Catalog List Printf Relalg Schema String

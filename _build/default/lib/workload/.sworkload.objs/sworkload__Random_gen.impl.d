@@ -1,0 +1,1 @@
+lib/workload/random_gen.ml: Buffer Catalog List Printf Relalg Schema String Sutil

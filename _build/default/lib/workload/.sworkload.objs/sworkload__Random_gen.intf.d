@@ -1,0 +1,1 @@
+lib/workload/random_gen.mli: Relalg

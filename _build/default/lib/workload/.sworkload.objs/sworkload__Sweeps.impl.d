@@ -1,0 +1,1 @@
+lib/workload/sweeps.ml: Array Buffer List Printf

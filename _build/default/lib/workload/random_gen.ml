@@ -1,0 +1,163 @@
+open Relalg
+
+(* Random script generation for property-based tests.
+
+   Scripts are built over a pool of relations that all carry the columns
+   A,B,C(,aggregates), so every generated statement is well-formed:
+   - EXTRACT from a random file,
+   - aggregation over a random relation on a random key subset,
+   - projection / filter,
+   - equi-join of two relations sharing a column,
+   - a random subset of relations is OUTPUT (ensuring every leaf relation
+     is consumed by at least one path). *)
+
+type rel = { rname : string; cols : string list }
+
+let key_choices = [ [ "A"; "B"; "C" ]; [ "A"; "B" ]; [ "B"; "C" ]; [ "A" ]; [ "B" ] ]
+
+let generate ?(seed = 1) ?(statements = 8) () : string =
+  let rng = Sutil.Rng.create seed in
+  let buf = Buffer.create 512 in
+  let rels = ref [] in
+  let fresh =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Printf.sprintf "Q%d" !n
+  in
+  let add_extract () =
+    let name = fresh () in
+    let file = Printf.sprintf "rand_log%d" (Sutil.Rng.int rng 3) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s = EXTRACT A,B,C,D FROM \"%s\" USING LogExtractor;\n"
+         name file);
+    rels := { rname = name; cols = [ "A"; "B"; "C"; "D" ] } :: !rels;
+    name
+  in
+  let value_col r =
+    (* a numeric column usable in aggregates *)
+    List.find (fun c -> not (List.mem c [ "A"; "B"; "C" ])) r.cols
+  in
+  let add_agg () =
+    match !rels with
+    | [] -> ignore (add_extract ())
+    | _ ->
+        let src = Sutil.Rng.pick_list rng !rels in
+        let keys =
+          List.filter (fun k -> List.mem k src.cols)
+            (Sutil.Rng.pick_list rng key_choices)
+        in
+        if keys = [] then ()
+        else begin
+          let name = fresh () in
+          let v = value_col src in
+          Buffer.add_string buf
+            (Printf.sprintf "%s = SELECT %s,Sum(%s) AS V FROM %s GROUP BY %s;\n"
+               name (String.concat "," keys) v src.rname (String.concat "," keys));
+          rels := { rname = name; cols = keys @ [ "V" ] } :: !rels
+        end
+  in
+  let add_filter () =
+    match !rels with
+    | [] -> ignore (add_extract ())
+    | _ ->
+        let src = Sutil.Rng.pick_list rng !rels in
+        let col = Sutil.Rng.pick_list rng src.cols in
+        let name = fresh () in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = SELECT %s FROM %s WHERE %s > %d;\n" name
+             (String.concat "," src.cols) src.rname col (Sutil.Rng.int rng 5));
+        rels := { rname = name; cols = src.cols } :: !rels
+  in
+  let add_join () =
+    (* only join aggregated relations: joining two raw extractions on a
+       low-cardinality key explodes the cardinality estimate *)
+    let candidates =
+      List.filter
+        (fun r -> List.length r.cols <= 4 && List.mem "V" r.cols)
+        !rels
+    in
+    match candidates with
+    | _ :: _ ->
+        let a = Sutil.Rng.pick_list rng candidates in
+        let bs =
+          List.filter
+            (fun b ->
+              b.rname <> a.rname
+              && List.exists (fun c -> List.mem c b.cols) [ "A"; "B"; "C" ]
+              && List.exists (fun c -> List.mem c a.cols) b.cols)
+            candidates
+        in
+        (match bs with
+        | [] -> ()
+        | _ ->
+            let b = Sutil.Rng.pick_list rng bs in
+            let shared_cols =
+              List.filter
+                (fun c -> List.mem c a.cols && List.mem c [ "A"; "B"; "C" ])
+                b.cols
+            in
+            (match shared_cols with
+            | [] -> ()
+            | jc :: _ ->
+                let name = fresh () in
+                let a_items =
+                  List.map (fun c -> Printf.sprintf "L.%s AS L_%s" c c) a.cols
+                in
+                let b_items =
+                  List.map (fun c -> Printf.sprintf "R.%s AS R_%s" c c) b.cols
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "%s = SELECT %s FROM %s AS L, %s AS R WHERE L.%s = R.%s;\n"
+                     name
+                     (String.concat "," (a_items @ b_items))
+                     a.rname b.rname jc jc);
+                rels :=
+                  {
+                    rname = name;
+                    cols =
+                      List.map (fun c -> "L_" ^ c) a.cols
+                      @ List.map (fun c -> "R_" ^ c) b.cols;
+                  }
+                  :: !rels))
+    | [] -> ()
+  in
+  ignore (add_extract ());
+  for _ = 2 to statements do
+    match Sutil.Rng.int rng 10 with
+    | 0 | 1 -> ignore (add_extract ())
+    | 2 | 3 | 4 | 5 -> add_agg ()
+    | 6 | 7 -> add_filter ()
+    | _ -> add_join ()
+  done;
+  (* output a random non-empty subset of relations; always include the most
+     recent so no generated statement chain is fully dead *)
+  let all = !rels in
+  let outputs =
+    List.filteri (fun i _ -> i = 0 || Sutil.Rng.int rng 3 = 0) all
+  in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT %s TO \"rand_out%d\";\n" r.rname i))
+    outputs;
+  Buffer.contents buf
+
+(* Catalog with statistics for the random input files. *)
+let catalog () =
+  let catalog = Catalog.create () in
+  for i = 0 to 2 do
+    Catalog.register catalog
+      (Catalog.mk_file
+         ~path:(Printf.sprintf "rand_log%d" i)
+         ~rows:(10_000_000 * (i + 1))
+         ~row_bytes:100
+         [
+           ("A", Schema.Tint, 60);
+           ("B", Schema.Tint, 500);
+           ("C", Schema.Tint, 60);
+           ("D", Schema.Tint, 1_000_000);
+         ])
+  done;
+  catalog

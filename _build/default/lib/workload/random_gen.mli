@@ -1,0 +1,9 @@
+(** Random script generation for property-based tests: extractions,
+    aggregations, filters and equi-joins over a shared column vocabulary,
+    with a random subset of relations output. Reused relations exercise
+    the explicit-sharing path; repeated extractions the fingerprint path. *)
+
+val generate : ?seed:int -> ?statements:int -> unit -> string
+
+(** Catalog with statistics for the random input files. *)
+val catalog : unit -> Relalg.Catalog.t

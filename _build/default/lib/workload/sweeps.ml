@@ -1,0 +1,56 @@
+(* Parametric workload families for sweep experiments beyond the paper's
+   fixed scripts:
+
+   - [consumers_script k]: the S1/S2 family generalized to [k] consumers of
+     one shared aggregation (the paper observes S2's three consumers save
+     more than S1's two; the sweep shows the whole curve);
+   - [chain_script d]: a shared aggregation whose consumers sit [d]
+     operators above the shared node, stressing enforcement propagation
+     depth. *)
+
+let consumer_keys = [| "A,B"; "B,C"; "A,C"; "A"; "B"; "C"; "A,B,C" |]
+
+let consumers_script ~k =
+  if k < 1 then invalid_arg "consumers_script: k must be positive";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING LogExtractor;\n";
+  Buffer.add_string buf
+    "R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;\n";
+  for i = 0 to k - 1 do
+    let keys = consumer_keys.(i mod Array.length consumer_keys) in
+    Buffer.add_string buf
+      (Printf.sprintf "R%d = SELECT %s,Sum(S) AS T%d FROM R GROUP BY %s;\n"
+         (i + 1) keys (i + 1) keys)
+  done;
+  for i = 1 to k do
+    Buffer.add_string buf
+      (Printf.sprintf "OUTPUT R%d TO \"result%d.out\";\n" i i)
+  done;
+  Buffer.contents buf
+
+let chain_script ~depth =
+  if depth < 1 then invalid_arg "chain_script: depth must be positive";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "R0 = EXTRACT A,B,C,D FROM \"test.log\" USING LogExtractor;\n";
+  Buffer.add_string buf
+    "R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;\n";
+  (* two consumer chains of [depth] filters each, then aggregations with
+     conflicting requirements *)
+  List.iter
+    (fun (side, keys) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s0 = SELECT A,B,C,S FROM R WHERE S > 0;\n" side);
+      for i = 1 to depth - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "%s%d = SELECT A,B,C,S FROM %s%d WHERE S > %d;\n"
+             side i side (i - 1) i)
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "%sAgg = SELECT %s,Sum(S) AS T FROM %s%d GROUP BY %s;\n"
+           side keys side (depth - 1) keys);
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT %sAgg TO \"%s.out\";\n" side side))
+    [ ("L", "A,B"); ("Rt", "B,C") ];
+  Buffer.contents buf

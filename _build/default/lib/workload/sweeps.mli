@@ -1,0 +1,11 @@
+(** Parametric workload families for sweep experiments beyond the paper's
+    fixed scripts. *)
+
+(** The S1/S2 family generalized: one shared aggregation with [k]
+    consumers grouping on rotating key subsets. [k = 2] is S1-shaped,
+    [k = 3] S2-shaped. *)
+val consumers_script : k:int -> string
+
+(** A shared aggregation whose two consumers sit [depth] filters above the
+    shared node, stressing enforcement propagation depth. *)
+val chain_script : depth:int -> string

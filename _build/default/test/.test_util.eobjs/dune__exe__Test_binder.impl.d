@@ -1,0 +1,1 @@
+test/test_binder.ml: Alcotest Array Fun List Relalg Slogical String Sworkload Thelpers

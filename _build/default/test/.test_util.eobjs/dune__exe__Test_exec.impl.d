@@ -1,0 +1,1 @@
+test/test_exec.ml: Agg Alcotest Array Catalog Colset Cse Expr Hashtbl List Relalg Schema Sexec String Sworkload Table Thelpers Value

@@ -1,0 +1,1 @@
+test/test_fingerprint.ml: Alcotest Array Cse Hashtbl List Printf Slogical Smemo Sworkload Thelpers

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Cse List Partition Physop Plan Relalg Reqprops Slogical Sortorder Sphys Sworkload Thelpers

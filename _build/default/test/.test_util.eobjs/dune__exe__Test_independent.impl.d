@@ -1,0 +1,1 @@
+test/test_independent.ml: Alcotest Cse Int List Relalg Scost Smemo Sworkload Thelpers

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Cse Int List Partition Printf QCheck Relalg Reqprops Scost Sopt Sphys String Sutil Sworkload Thelpers

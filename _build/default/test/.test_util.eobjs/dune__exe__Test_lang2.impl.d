@@ -1,0 +1,1 @@
+test/test_lang2.ml: Alcotest Array Cse Lazy List Relalg Scost Sexec Slang Slogical Sphys String Sutil Thelpers

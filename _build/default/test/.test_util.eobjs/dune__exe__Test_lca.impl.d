@@ -1,0 +1,1 @@
+test/test_lca.ml: Alcotest Array Cse Hashtbl Int List Option Printf Relalg Slogical Smemo String Sutil Sworkload Thelpers

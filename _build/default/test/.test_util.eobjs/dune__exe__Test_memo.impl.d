@@ -1,0 +1,1 @@
+test/test_memo.ml: Alcotest Array Fun List Slogical Smemo Sopt Sworkload Thelpers

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest List Printf Scost Slang Slogical Smemo Sopt Sphys Sworkload Thelpers

@@ -1,0 +1,1 @@
+test/test_phase2.ml: Alcotest Cse Lazy List Partition Physop Plan Props Scost Sexec Sopt Sphys String Sworkload Thelpers

@@ -1,0 +1,1 @@
+test/test_propexec.ml: Alcotest Cse List Option Printf Relalg Sexec Slogical Sphys String Sworkload

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest List Partition Physop Plan Plan_check Props QCheck Relalg Reqprops Slogical Sopt Sortorder Sphys Thelpers

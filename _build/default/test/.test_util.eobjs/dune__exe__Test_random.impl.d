@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Cse List Printexc Scost Sexec String Sworkload Thelpers

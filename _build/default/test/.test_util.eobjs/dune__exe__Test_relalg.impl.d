@@ -1,0 +1,1 @@
+test/test_relalg.ml: Agg Alcotest Array Catalog Colset Expr List QCheck Relalg Schema Table Thelpers Value

@@ -1,0 +1,1 @@
+test/test_rounds.ml: Alcotest Cse Int List Printf Reqprops Sphys Sutil Thelpers

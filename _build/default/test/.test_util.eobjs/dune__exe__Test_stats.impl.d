@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Catalog Expr Float List Relalg Schema Slogical Smemo Sworkload Thelpers Value

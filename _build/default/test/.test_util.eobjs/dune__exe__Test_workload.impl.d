@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Cse Int List Printexc Printf Relalg Slang Slogical Smemo Sworkload Thelpers

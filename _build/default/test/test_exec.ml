@@ -1,0 +1,238 @@
+open Relalg
+
+(* Simulated-cluster execution tests: operator semantics, exchange
+   co-location, determinism, counters, and full plan validation against
+   the reference evaluator. *)
+
+let schema cols = List.map (fun c -> Schema.column c Schema.Tint) cols
+
+let test_datagen_deterministic () =
+  let catalog = Catalog.default () in
+  let s = schema [ "A"; "B"; "C"; "D" ] in
+  let t1 = Sexec.Datagen.table catalog ~file:"test.log" ~schema:s in
+  let t2 = Sexec.Datagen.table catalog ~file:"test.log" ~schema:s in
+  Alcotest.(check bool) "same rows" true (Table.same_contents t1 t2);
+  Alcotest.(check int) "scaled to cap" 2000 (Table.cardinality t1)
+
+let test_datagen_distinct_files_differ () =
+  let catalog = Catalog.default () in
+  let s = schema [ "A"; "B" ] in
+  let t1 = Sexec.Datagen.table catalog ~file:"test.log" ~schema:s in
+  let t2 = Sexec.Datagen.table catalog ~file:"test2.log" ~schema:s in
+  Alcotest.(check bool) "different files differ" false (Table.same_contents t1 t2)
+
+let test_datagen_aggregation_reduces () =
+  let catalog = Catalog.default () in
+  let s = schema [ "A"; "B" ] in
+  let t = Sexec.Datagen.table catalog ~file:"test.log" ~schema:s in
+  let g = Table.group_by t ~keys:[ "A" ] ~aggs:[] in
+  Alcotest.(check bool) "grouping reduces rows" true
+    (Table.cardinality g < Table.cardinality t)
+
+(* --- exchange co-location ------------------------------------------------ *)
+
+let dist_of_rows engine s rows =
+  let parts = Array.make engine.Sexec.Engine.machines [] in
+  List.iteri (fun i r -> parts.(i mod engine.Sexec.Engine.machines) <- r :: parts.(i mod engine.Sexec.Engine.machines)) rows;
+  { Sexec.Engine.schema = s; parts }
+
+let test_exchange_colocates_groups () =
+  let catalog = Catalog.create () in
+  let engine = Sexec.Engine.create ~machines:5 catalog in
+  let s = schema [ "A"; "B" ] in
+  let rows =
+    List.init 200 (fun i -> [| Value.Int (i mod 7); Value.Int (i mod 3) |])
+  in
+  let d = dist_of_rows engine s rows in
+  let ex = Sexec.Engine.exchange engine d (Colset.of_list [ "A" ]) in
+  (* rows with equal A all land on one machine *)
+  let homes = Hashtbl.create 8 in
+  Array.iteri
+    (fun m part ->
+      List.iter
+        (fun row ->
+          match Hashtbl.find_opt homes row.(0) with
+          | Some m0 -> Alcotest.(check int) "co-located" m0 m
+          | None -> Hashtbl.add homes row.(0) m)
+        part)
+    ex.Sexec.Engine.parts;
+  Alcotest.(check int) "rows preserved" 200
+    (Array.fold_left (fun acc p -> acc + List.length p) 0 ex.Sexec.Engine.parts);
+  Alcotest.(check int) "shuffle counter" 200
+    engine.Sexec.Engine.counters.Sexec.Engine.rows_shuffled
+
+let test_exchange_order_insensitive_hash () =
+  (* partitioning on {A,B} must co-locate with partitioning on the
+     equality-linked pair regardless of column order: the per-row hash is
+     commutative *)
+  let catalog = Catalog.create () in
+  let engine = Sexec.Engine.create ~machines:7 catalog in
+  let s1 = schema [ "A"; "B" ] and s2 = schema [ "B"; "A" ] in
+  let pairs = List.init 50 (fun i -> (i mod 11, i mod 4)) in
+  let rows1 = List.map (fun (a, b) -> [| Value.Int a; Value.Int b |]) pairs in
+  let rows2 = List.map (fun (a, b) -> [| Value.Int b; Value.Int a |]) pairs in
+  let ex1 =
+    Sexec.Engine.exchange engine (dist_of_rows engine s1 rows1)
+      (Colset.of_list [ "A"; "B" ])
+  in
+  let ex2 =
+    Sexec.Engine.exchange engine (dist_of_rows engine s2 rows2)
+      (Colset.of_list [ "A"; "B" ])
+  in
+  (* the (a,b) row of ex1 and the (b,a) row of ex2 are on the same machine *)
+  let machine_of (ex : Sexec.Engine.dist) v0 v1 =
+    let found = ref (-1) in
+    Array.iteri
+      (fun m part ->
+        if
+          List.exists
+            (fun r -> Value.equal r.(0) v0 && Value.equal r.(1) v1)
+            part
+        then found := m)
+      ex.Sexec.Engine.parts;
+    !found
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int) "aligned"
+        (machine_of ex1 (Value.Int a) (Value.Int b))
+        (machine_of ex2 (Value.Int b) (Value.Int a)))
+    pairs
+
+(* --- operators ------------------------------------------------------------ *)
+
+let run_plan ?(machines = 5) catalog plan =
+  let engine = Sexec.Engine.create ~machines catalog in
+  (Sexec.Engine.run engine plan, engine)
+
+let optimize ?(cse = true) script =
+  let catalog = Thelpers.default_catalog () in
+  let r = Cse.Pipeline.run ~catalog script in
+  ( catalog,
+    r.Cse.Pipeline.dag,
+    (if cse then r.Cse.Pipeline.cse_plan else r.Cse.Pipeline.conventional_plan) )
+
+let test_stream_agg_equals_reference () =
+  (* already covered end-to-end; here a focused case with negative and
+     repeated keys *)
+  let s = schema [ "K"; "V" ] in
+  let rows =
+    [ (1, 5); (1, 7); (2, 1); (3, 2); (3, 3); (3, 4) ]
+    |> List.map (fun (k, v) -> [| Value.Int k; Value.Int v |])
+  in
+  let sorted = List.sort (fun a b -> Value.compare a.(0) b.(0)) rows in
+  let out =
+    Sexec.Engine.stream_agg s ~keys:[ "K" ]
+      ~aggs:[ Agg.make Agg.Sum (Expr.Col "V") "S" ]
+      sorted
+  in
+  let expected =
+    Table.group_by (Table.make s rows) ~keys:[ "K" ]
+      ~aggs:[ Agg.make Agg.Sum (Expr.Col "V") "S" ]
+  in
+  Alcotest.(check bool) "stream = hash reference" true
+    (Table.same_contents expected
+       (Table.make expected.Table.schema out))
+
+let test_full_validation_both_plans () =
+  List.iter
+    (fun (name, script) ->
+      List.iter
+        (fun cse ->
+          let catalog, dag, plan = optimize ~cse script in
+          let v = Sexec.Validate.check ~machines:6 catalog dag plan in
+          if not v.Sexec.Validate.ok then
+            Alcotest.failf "%s (cse=%b): %s" name cse
+              (String.concat "; " v.Sexec.Validate.mismatches))
+        [ true; false ])
+    Sworkload.Paper_scripts.all
+
+let test_spool_executed_once () =
+  let catalog, dag, plan = optimize Sworkload.Paper_scripts.s1 in
+  let v = Sexec.Validate.check ~machines:6 catalog dag plan in
+  Alcotest.(check int) "one execution" 1
+    v.Sexec.Validate.counters.Sexec.Engine.spool_executions;
+  Alcotest.(check int) "two reads" 2
+    v.Sexec.Validate.counters.Sexec.Engine.spool_reads
+
+let test_cse_extracts_less () =
+  let catalog, dag, cse_plan = optimize Sworkload.Paper_scripts.s1 in
+  let _, _, conv_plan = optimize ~cse:false Sworkload.Paper_scripts.s1 in
+  let vc = Sexec.Validate.check ~machines:6 catalog dag cse_plan in
+  let vv = Sexec.Validate.check ~machines:6 catalog dag conv_plan in
+  Alcotest.(check bool) "fewer rows extracted" true
+    (vc.Sexec.Validate.counters.Sexec.Engine.rows_extracted
+    < vv.Sexec.Validate.counters.Sexec.Engine.rows_extracted);
+  Alcotest.(check bool) "fewer rows shuffled" true
+    (vc.Sexec.Validate.counters.Sexec.Engine.rows_shuffled
+    <= vv.Sexec.Validate.counters.Sexec.Engine.rows_shuffled)
+
+let test_machine_count_invariance () =
+  (* results are identical whatever the cluster size *)
+  let catalog, dag, plan = optimize Sworkload.Paper_scripts.s2 in
+  List.iter
+    (fun machines ->
+      let v = Sexec.Validate.check ~machines catalog dag plan in
+      if not v.Sexec.Validate.ok then
+        Alcotest.failf "mismatch on %d machines: %s" machines
+          (String.concat "; " v.Sexec.Validate.mismatches))
+    [ 1; 2; 3; 25; 64 ]
+
+let test_reference_spools_transparent () =
+  let catalog = Thelpers.default_catalog () in
+  let dag = Thelpers.bind Sworkload.Paper_scripts.s1 in
+  let outputs = Sexec.Reference.run catalog dag in
+  Alcotest.(check int) "two outputs" 2 (List.length outputs);
+  Alcotest.(check (list string)) "files"
+    [ "result1.out"; "result2.out" ]
+    (List.map fst outputs)
+
+let test_outputs_in_script_order () =
+  let catalog, _, plan = optimize Sworkload.Paper_scripts.s2 in
+  let outputs, _ = run_plan catalog plan in
+  Alcotest.(check (list string)) "order"
+    [ "result1.out"; "result2.out"; "result3.out" ]
+    (List.map fst outputs)
+
+let test_run_twice_same_result () =
+  let catalog, _, plan = optimize Sworkload.Paper_scripts.s1 in
+  let o1, _ = run_plan catalog plan in
+  let o2, _ = run_plan catalog plan in
+  List.iter2
+    (fun (f1, t1) (f2, t2) ->
+      Alcotest.(check string) "file" f1 f2;
+      Alcotest.(check bool) "rows" true (Table.same_contents t1 t2))
+    o1 o2
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "datagen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_datagen_deterministic;
+          Alcotest.test_case "files differ" `Quick test_datagen_distinct_files_differ;
+          Alcotest.test_case "aggregation reduces" `Quick test_datagen_aggregation_reduces;
+        ] );
+      ( "exchange",
+        [
+          Alcotest.test_case "co-locates groups" `Quick test_exchange_colocates_groups;
+          Alcotest.test_case "order-insensitive hash" `Quick
+            test_exchange_order_insensitive_hash;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "stream aggregation" `Quick test_stream_agg_equals_reference;
+          Alcotest.test_case "reference evaluator" `Quick test_reference_spools_transparent;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "paper scripts, both plans" `Slow
+            test_full_validation_both_plans;
+          Alcotest.test_case "spool executed once" `Quick test_spool_executed_once;
+          Alcotest.test_case "CSE does less IO" `Quick test_cse_extracts_less;
+          Alcotest.test_case "machine-count invariance" `Slow
+            test_machine_count_invariance;
+          Alcotest.test_case "output order" `Quick test_outputs_in_script_order;
+          Alcotest.test_case "deterministic runs" `Quick test_run_twice_same_result;
+        ] );
+    ]

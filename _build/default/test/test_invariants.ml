@@ -1,0 +1,269 @@
+(* Property-based invariant tests over the core data structures: round
+   enumeration, history expansion, expression evaluation, and the
+   large-script plans (static validation + sharing structure). *)
+
+open Sphys
+
+let cs = Thelpers.colset
+
+(* --- rounds: random class structures ------------------------------------- *)
+
+let classes_gen =
+  QCheck.Gen.(
+    let props_gen = map (fun n -> n + 1) (int_bound 4) in
+    let group_gen = props_gen in
+    let class_gen = list_size (int_range 1 3) group_gen in
+    list_size (int_range 1 3) class_gen)
+
+(* materialize a class spec: groups get unique ids, [n] distinct props *)
+let materialize spec =
+  let gid = ref 0 in
+  List.map
+    (List.map (fun n ->
+         incr gid;
+         ( !gid,
+           List.init n (fun i ->
+               Reqprops.make
+                 (Reqprops.Hash_exact (cs [ Printf.sprintf "c%d_%d" !gid i ]))
+                 []) )))
+    spec
+
+let classes_arb =
+  QCheck.make
+    ~print:(fun spec ->
+      String.concat ";"
+        (List.map (fun c -> String.concat "," (List.map string_of_int c)) spec))
+    classes_gen
+
+let drain gen =
+  let rec loop acc =
+    match Cse.Rounds.next gen with
+    | None -> List.rev acc
+    | Some a ->
+        Cse.Rounds.report gen ~cost:1.0;
+        loop (a :: acc)
+  in
+  loop []
+
+let prop_round_count =
+  Thelpers.qtest ~count:200 "rounds = sequential_total" classes_arb (fun spec ->
+      let classes = materialize spec in
+      let gen = Cse.Rounds.create classes in
+      List.length (drain gen) = Cse.Rounds.sequential_total classes)
+
+let prop_rounds_complete =
+  Thelpers.qtest ~count:200 "every round assigns every group" classes_arb
+    (fun spec ->
+      let classes = materialize spec in
+      let all_groups =
+        List.concat_map (List.map fst) classes |> List.sort Int.compare
+      in
+      let gen = Cse.Rounds.create classes in
+      List.for_all
+        (fun a -> List.sort Int.compare (List.map fst a) = all_groups)
+        (drain gen))
+
+let prop_rounds_distinct =
+  Thelpers.qtest ~count:200 "no duplicate rounds" classes_arb (fun spec ->
+      let classes = materialize spec in
+      let gen = Cse.Rounds.create classes in
+      let canon a =
+        List.sort compare (List.map (fun (g, p) -> (g, Reqprops.to_key p)) a)
+      in
+      let rounds = List.map canon (drain gen) in
+      List.length rounds = List.length (List.sort_uniq compare rounds))
+
+let prop_sequential_le_naive =
+  Thelpers.qtest ~count:200 "sequential <= naive" classes_arb (fun spec ->
+      let classes = materialize spec in
+      Cse.Rounds.sequential_total classes <= Cse.Rounds.naive_total classes)
+
+(* --- history expansion ----------------------------------------------------- *)
+
+let colset_gen =
+  QCheck.Gen.(
+    map
+      (fun l -> Relalg.Colset.of_list l)
+      (list_size (int_range 1 4) (oneofl [ "A"; "B"; "C"; "D" ])))
+
+let colset_arb = QCheck.make ~print:Relalg.Colset.to_string colset_gen
+
+let prop_expansion_count =
+  Thelpers.qtest "range expands to 2^n - 1 entries" colset_arb (fun c ->
+      let entries =
+        Cse.History.expand Cse.Config.default
+          (Reqprops.make (Reqprops.Hash_subset c) [])
+      in
+      List.length entries = (1 lsl Relalg.Colset.cardinal c) - 1)
+
+let prop_expansion_sound =
+  Thelpers.qtest "every expanded entry satisfies the range" colset_arb (fun c ->
+      let entries =
+        Cse.History.expand Cse.Config.default
+          (Reqprops.make (Reqprops.Hash_subset c) [])
+      in
+      List.for_all
+        (fun (e : Reqprops.t) ->
+          match e.Reqprops.part with
+          | Reqprops.Hash_exact s ->
+              Reqprops.part_satisfied (Partition.Hashed s) (Reqprops.Hash_subset c)
+          | _ -> false)
+        entries)
+
+(* --- expression evaluation -------------------------------------------------- *)
+
+let expr_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun c -> Relalg.Expr.Col c) (oneofl [ "A"; "B" ]);
+              map (fun i -> Relalg.Expr.Lit (Relalg.Value.Int i)) small_int;
+            ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              map2 (fun a b -> Relalg.Expr.Binop (Relalg.Expr.Add, a, b)) sub sub;
+              map2 (fun a b -> Relalg.Expr.Binop (Relalg.Expr.Mul, a, b)) sub sub;
+              map2 (fun a b -> Relalg.Expr.Cmp (Relalg.Expr.Le, a, b)) sub sub;
+              map2 (fun a b -> Relalg.Expr.And (a, b)) sub sub;
+            ]))
+
+let expr_arb = QCheck.make ~print:Relalg.Expr.to_string expr_gen
+
+let schema_ab =
+  [ Relalg.Schema.column "A" Relalg.Schema.Tint;
+    Relalg.Schema.column "B" Relalg.Schema.Tint ]
+
+let schema_xy =
+  [ Relalg.Schema.column "X_A" Relalg.Schema.Tint;
+    Relalg.Schema.column "X_B" Relalg.Schema.Tint ]
+
+(* renaming columns and renaming the schema commute *)
+let prop_rename_commutes =
+  Thelpers.qtest ~count:300 "rename/eval commute"
+    QCheck.(pair expr_arb (pair small_int small_int))
+    (fun (e, (a, b)) ->
+      let row = [| Relalg.Value.Int a; Relalg.Value.Int b |] in
+      let renamed = Relalg.Expr.rename (fun c -> "X_" ^ c) e in
+      Relalg.Value.equal
+        (Relalg.Expr.eval schema_ab row e)
+        (Relalg.Expr.eval schema_xy row renamed))
+
+(* columns of an expression never grow under evaluation-preserving rename *)
+let prop_columns_rename =
+  Thelpers.qtest ~count:300 "columns track rename" expr_arb (fun e ->
+      let renamed = Relalg.Expr.rename (fun c -> "X_" ^ c) e in
+      Relalg.Colset.cardinal (Relalg.Expr.columns renamed)
+      = Relalg.Colset.cardinal (Relalg.Expr.columns e))
+
+(* --- large scripts through the full pipeline ------------------------------- *)
+
+let ls_report spec =
+  let script = Sworkload.Large_gen.generate spec in
+  let catalog = Relalg.Catalog.default () in
+  Sworkload.Large_gen.register_files
+    ~shared_rows:spec.Sworkload.Large_gen.shared_rows
+    ~filler_rows:spec.Sworkload.Large_gen.filler_rows catalog script;
+  let budget = Sopt.Budget.create ~max_seconds:30.0 () in
+  Cse.Pipeline.run ~budget ~catalog script
+
+let test_ls1_plan_valid () =
+  let r = ls_report Sworkload.Large_gen.ls1_spec in
+  Thelpers.assert_valid_plan "LS1 cse" r.Cse.Pipeline.cse_plan;
+  Thelpers.assert_valid_plan "LS1 conv" r.Cse.Pipeline.conventional_plan;
+  Alcotest.(check bool) "cse cheaper" true
+    (r.Cse.Pipeline.cse_cost <= r.Cse.Pipeline.conventional_cost);
+  let distinct, refs = Scost.Dagcost.spool_counts r.Cse.Pipeline.cse_plan in
+  Alcotest.(check int) "all four shared groups materialized once" 4 distinct;
+  Alcotest.(check int) "nine references (3x2 + 1x3)" 9 refs
+
+let test_ls1_every_lca_found () =
+  let r = ls_report Sworkload.Large_gen.ls1_spec in
+  Alcotest.(check int) "four LCAs" 4 (List.length r.Cse.Pipeline.lcas)
+
+let test_skew_model () =
+  Alcotest.(check (float 0.01)) "few keys limit parallelism" 7.5
+    (Scost.Costmodel.key_parallelism ~machines:10.0 30.0);
+  Alcotest.(check (float 0.5)) "many keys reach full parallelism" 25.0
+    (Scost.Costmodel.key_parallelism ~machines:25.0 1.0e6);
+  Alcotest.(check (float 0.01)) "flat model ignores keys" 25.0
+    (Scost.Costmodel.key_parallelism ~skew_aware:false ~machines:25.0 2.0);
+  (* the skew-aware optimization still produces a valid, cheaper plan *)
+  let flat = { Scost.Cluster.default with Scost.Cluster.skew_aware = false } in
+  let r =
+    Cse.Pipeline.run ~cluster:flat ~catalog:(Relalg.Catalog.default ())
+      Sworkload.Paper_scripts.s1
+  in
+  Thelpers.assert_valid_plan "flat cluster" r.Cse.Pipeline.cse_plan;
+  Alcotest.(check bool) "cse still cheaper" true
+    (r.Cse.Pipeline.cse_cost <= r.Cse.Pipeline.conventional_cost)
+
+let test_dot_export () =
+  let r =
+    Cse.Pipeline.run ~catalog:(Relalg.Catalog.default ())
+      Sworkload.Paper_scripts.s1
+  in
+  let dot = Sphys.Plan_pp.to_dot r.Cse.Pipeline.cse_plan in
+  Alcotest.(check bool) "digraph" true
+    (Sutil.Strutil.starts_with ~prefix:"digraph" dot);
+  (* the shared spool appears once as a node but is referenced twice *)
+  let count_sub needle s =
+    let n = String.length needle and m = String.length s in
+    let rec go i acc =
+      if i + n > m then acc
+      else go (i + 1) (if String.sub s i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one spool node" 1 (count_sub "Spool" dot);
+  (* edges = nodes - 1 + 1 extra reference to the shared spool *)
+  let nodes = count_sub "label=" dot and edges = count_sub " -> " dot in
+  Alcotest.(check int) "dag edge count" nodes edges
+
+let test_consumer_sweep_monotone () =
+  let reductions =
+    List.map
+      (fun k ->
+        let catalog = Relalg.Catalog.default () in
+        let r =
+          Cse.Pipeline.run ~catalog (Sworkload.Sweeps.consumers_script ~k)
+        in
+        Cse.Pipeline.reduction_percent r)
+      [ 1; 2; 3; 4 ]
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "more consumers, more saving" true
+    (increasing reductions);
+  Alcotest.(check (float 0.01)) "k=1 has nothing to share" 0.0
+    (List.hd reductions)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "rounds",
+        [
+          prop_round_count;
+          prop_rounds_complete;
+          prop_rounds_distinct;
+          prop_sequential_le_naive;
+        ] );
+      ("history", [ prop_expansion_count; prop_expansion_sound ]);
+      ("expressions", [ prop_rename_commutes; prop_columns_rename ]);
+      ( "cost model",
+        [
+          Alcotest.test_case "skew parallelism" `Quick test_skew_model;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+        ] );
+      ( "large scripts",
+        [
+          Alcotest.test_case "LS1 plans" `Slow test_ls1_plan_valid;
+          Alcotest.test_case "LS1 LCAs" `Slow test_ls1_every_lca_found;
+          Alcotest.test_case "consumer sweep" `Slow test_consumer_sweep_monotone;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+(* Memo structure tests. *)
+
+let test_of_dag_s1 () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
+  Alcotest.(check int) "7 groups" 7 (Smemo.Memo.size memo);
+  Alcotest.(check int) "7 expressions" 7 (Smemo.Memo.expr_count memo);
+  let root = Smemo.Memo.root_group memo in
+  match (List.hd root.Smemo.Memo.exprs).Smemo.Memo.mop with
+  | Slogical.Logop.Sequence -> ()
+  | _ -> Alcotest.fail "root is the sequence"
+
+let test_parents () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
+  let parents = Smemo.Memo.parents memo in
+  (* group 1 = GB(A,B,C) has the two consumer GBs as parents *)
+  Alcotest.(check int) "shared group has 2 parents" 2 (List.length parents.(1));
+  Alcotest.(check (list int)) "root has no parents" []
+    parents.(memo.Smemo.Memo.root)
+
+let test_redirect () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
+  (* create a spool over group 1 manually and redirect *)
+  let g1 = Smemo.Memo.group memo 1 in
+  let spool =
+    Smemo.Memo.add_group memo
+      { Smemo.Memo.mop = Slogical.Logop.Spool; children = [ 1 ] }
+      g1.Smemo.Memo.schema
+  in
+  Smemo.Memo.redirect memo ~from_:1 ~to_:spool.Smemo.Memo.id
+    ~except:spool.Smemo.Memo.id;
+  let parents = Smemo.Memo.parents memo in
+  Alcotest.(check int) "spool took over the consumers" 2
+    (List.length parents.(spool.Smemo.Memo.id));
+  Alcotest.(check (list int)) "group 1 now feeds only the spool"
+    [ spool.Smemo.Memo.id ] parents.(1)
+
+let test_reachable () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
+  let live = Smemo.Memo.reachable memo in
+  Alcotest.(check bool) "all initial groups reachable" true
+    (Array.for_all Fun.id (Array.sub live 0 7))
+
+let test_add_expr_dedup () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
+  let g = Smemo.Memo.group memo 1 in
+  let e = List.hd g.Smemo.Memo.exprs in
+  Smemo.Memo.add_expr g e;
+  Alcotest.(check int) "duplicate expression ignored" 1
+    (List.length g.Smemo.Memo.exprs)
+
+let test_exploration_adds_two_stage () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
+  let g = Smemo.Memo.group memo 1 in
+  Sopt.Rules.explore memo g ~phase:1;
+  Alcotest.(check int) "global/local expression added" 2
+    (List.length g.Smemo.Memo.exprs);
+  (* idempotent per phase *)
+  Sopt.Rules.explore memo g ~phase:1;
+  Alcotest.(check int) "idempotent" 2 (List.length g.Smemo.Memo.exprs);
+  (* re-exploring in phase 2 must not duplicate the rewrite *)
+  let before = Smemo.Memo.size memo in
+  g.Smemo.Memo.explored_phase <- 1;
+  Sopt.Rules.explore memo g ~phase:2;
+  Alcotest.(check int) "no new group in phase 2" before (Smemo.Memo.size memo);
+  Alcotest.(check int) "no new expr in phase 2" 2 (List.length g.Smemo.Memo.exprs)
+
+let test_group_children () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
+  let root = Smemo.Memo.root_group memo in
+  Alcotest.(check (list int)) "sequence children" [ 3; 5 ]
+    (Smemo.Memo.group_children root)
+
+let () =
+  Alcotest.run "memo"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "of_dag" `Quick test_of_dag_s1;
+          Alcotest.test_case "parents" `Quick test_parents;
+          Alcotest.test_case "redirect" `Quick test_redirect;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "add_expr dedup" `Quick test_add_expr_dedup;
+          Alcotest.test_case "group children" `Quick test_group_children;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "two-stage aggregation" `Quick
+            test_exploration_adds_two_stage;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Conventional (phase-1) optimizer tests: plan shapes, enforcers, winner
+   memoization, requirement handling, budget accounting. *)
+
+let cluster = Scost.Cluster.default
+
+let conventional ?(machines = 25) script =
+  let catalog = Thelpers.default_catalog () in
+  let dag = Thelpers.bind ~catalog script in
+  let memo = Smemo.Memo.of_dag ~catalog ~machines dag in
+  let ctx =
+    Sopt.Optimizer.create
+      ~cluster:(Scost.Cluster.with_machines machines cluster)
+      memo
+  in
+  match Sopt.Optimizer.optimize_root ctx with
+  | Some plan -> (plan, ctx)
+  | None -> Alcotest.fail "no plan"
+
+let test_s1_conventional_shape () =
+  let plan, _ = conventional Sworkload.Paper_scripts.s1 in
+  Thelpers.assert_valid_plan "s1 conventional" plan;
+  (* Figure 8(a): the shared pipeline is executed twice *)
+  Alcotest.(check int) "two extracts" 2 (Thelpers.count_op "Extract" plan);
+  Alcotest.(check int) "two repartitions" 2
+    (Thelpers.count_op "SortMergeExchange" plan
+    + Thelpers.count_op "Repartition" plan);
+  Alcotest.(check int) "no spools" 0 (Thelpers.count_op "Spool" plan);
+  Alcotest.(check int) "two local aggregations" 2
+    (Thelpers.count_op "StreamAgg(Local)" plan)
+
+let test_all_paper_scripts_valid () =
+  List.iter
+    (fun (name, script) ->
+      let plan, _ = conventional script in
+      Thelpers.assert_valid_plan name plan)
+    Sworkload.Paper_scripts.all
+
+let test_requirements_pushed_through_shared_gb () =
+  (* In S1's conventional plan, each consumer pushes its partitioning
+     requirement into its own copy, so no consumer needs an extra
+     repartition above the shared aggregation: exchanges = extracts. *)
+  let plan, _ = conventional Sworkload.Paper_scripts.s1 in
+  let exchanges =
+    Thelpers.count_op "SortMergeExchange" plan + Thelpers.count_op "Repartition" plan
+  in
+  Alcotest.(check int) "one exchange per copy" 2 exchanges
+
+let test_winner_memoization () =
+  let _, ctx = conventional Sworkload.Paper_scripts.s1 in
+  let tasks_before = ctx.Sopt.Optimizer.budget.Sopt.Budget.tasks in
+  (* re-optimizing the root hits the winner cache: no new tasks *)
+  ignore (Sopt.Optimizer.optimize_root ctx);
+  Alcotest.(check int) "cached" tasks_before
+    ctx.Sopt.Optimizer.budget.Sopt.Budget.tasks
+
+let test_serial_cluster () =
+  (* a 1-machine cluster still produces correct plans *)
+  let plan, _ = conventional ~machines:1 Sworkload.Paper_scripts.s1 in
+  Thelpers.assert_valid_plan "serial" plan
+
+let test_plan_costs_positive () =
+  let plan, _ = conventional Sworkload.Paper_scripts.s3 in
+  Sphys.Plan.fold
+    (fun () n ->
+      if n.Sphys.Plan.op_cost < 0.0 then Alcotest.fail "negative op cost";
+      if n.Sphys.Plan.cost < n.Sphys.Plan.op_cost then
+        Alcotest.fail "tree cost smaller than op cost")
+    () plan
+
+let test_tree_cost_is_additive () =
+  let plan, _ = conventional Sworkload.Paper_scripts.s2 in
+  let rec check (n : Sphys.Plan.t) =
+    let sum =
+      List.fold_left (fun acc c -> acc +. c.Sphys.Plan.cost) n.Sphys.Plan.op_cost
+        n.Sphys.Plan.children
+    in
+    Alcotest.(check (float 1e-6)) "additive" sum n.Sphys.Plan.cost;
+    List.iter check n.Sphys.Plan.children
+  in
+  check plan
+
+let test_dagcost_equals_tree_without_spools () =
+  let plan, _ = conventional Sworkload.Paper_scripts.s2 in
+  Alcotest.(check (float 1.0)) "no spool => tree cost" plan.Sphys.Plan.cost
+    (Scost.Dagcost.cost cluster plan)
+
+let test_output_order_preserved () =
+  let plan, _ = conventional Sworkload.Paper_scripts.s2 in
+  let outputs =
+    List.filter_map
+      (function Sphys.Physop.P_output { file } -> Some file | _ -> None)
+      (Sphys.Plan.operators plan)
+  in
+  Alcotest.(check (list string)) "three outputs in script order"
+    [ "result1.out"; "result2.out"; "result3.out" ]
+    outputs
+
+let test_budget_task_counting () =
+  let _, ctx = conventional Sworkload.Paper_scripts.s1 in
+  Alcotest.(check bool) "tasks counted" true
+    (ctx.Sopt.Optimizer.budget.Sopt.Budget.tasks > 5)
+
+let test_budget_exhaustion_flag () =
+  let b = Sopt.Budget.create ~max_tasks:3 () in
+  Alcotest.(check bool) "fresh" false (Sopt.Budget.exhausted b);
+  Sopt.Budget.tick b;
+  Sopt.Budget.tick b;
+  Sopt.Budget.tick b;
+  Alcotest.(check bool) "exhausted" true (Sopt.Budget.exhausted b)
+
+(* every plan the optimizer produces on random scripts passes the checker *)
+let test_random_scripts_valid () =
+  for seed = 1 to 30 do
+    let script = Sworkload.Random_gen.generate ~seed ~statements:9 () in
+    let catalog = Sworkload.Random_gen.catalog () in
+    let dag = Slogical.Binder.bind ~catalog (Slang.Parser.parse_script script) in
+    let memo = Smemo.Memo.of_dag ~catalog ~machines:25 dag in
+    let ctx = Sopt.Optimizer.create ~cluster memo in
+    match Sopt.Optimizer.optimize_root ctx with
+    | Some plan -> Thelpers.assert_valid_plan (Printf.sprintf "seed %d" seed) plan
+    | None -> Alcotest.failf "seed %d: no plan" seed
+  done
+
+let test_join_plan_co_partitioned () =
+  let plan, _ = conventional Sworkload.Paper_scripts.s4 in
+  Thelpers.assert_valid_plan "s4" plan;
+  Alcotest.(check bool) "join present" true
+    (Thelpers.count_op "HashJoin" plan + Thelpers.count_op "MergeJoin" plan >= 1)
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "S1 shape (Figure 8a)" `Quick test_s1_conventional_shape;
+          Alcotest.test_case "paper scripts valid" `Quick test_all_paper_scripts_valid;
+          Alcotest.test_case "requirement pushdown" `Quick
+            test_requirements_pushed_through_shared_gb;
+          Alcotest.test_case "serial cluster" `Quick test_serial_cluster;
+          Alcotest.test_case "join co-partitioning" `Quick test_join_plan_co_partitioned;
+          Alcotest.test_case "random scripts" `Quick test_random_scripts_valid;
+          Alcotest.test_case "output order" `Quick test_output_order_preserved;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "positive" `Quick test_plan_costs_positive;
+          Alcotest.test_case "tree additive" `Quick test_tree_cost_is_additive;
+          Alcotest.test_case "dag = tree without spools" `Quick
+            test_dagcost_equals_tree_without_spools;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "winner memoization" `Quick test_winner_memoization;
+          Alcotest.test_case "task counting" `Quick test_budget_task_counting;
+          Alcotest.test_case "budget flag" `Quick test_budget_exhaustion_flag;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+(* Whole-pipeline property tests over randomly generated scripts:
+   - every plan (conventional and CSE) passes the independent checker;
+   - the CSE plan never costs more than the conventional one on the
+     aggregate-shaped random family;
+   - both plans produce exactly the reference results on a simulated
+     cluster;
+   - shared subexpressions are materialized at most once per property
+     assignment. *)
+
+let run_seed seed =
+  let script = Sworkload.Random_gen.generate ~seed ~statements:10 () in
+  let catalog = Sworkload.Random_gen.catalog () in
+  let r = Cse.Pipeline.run ~catalog script in
+  (script, catalog, r)
+
+let test_plans_valid () =
+  for seed = 1 to 35 do
+    let script, _, r = run_seed seed in
+    (try
+       Thelpers.assert_valid_plan "conventional" r.Cse.Pipeline.conventional_plan;
+       Thelpers.assert_valid_plan "cse" r.Cse.Pipeline.cse_plan
+     with e ->
+       Alcotest.failf "seed %d: %s\n%s" seed (Printexc.to_string e) script)
+  done
+
+let test_cse_never_costlier () =
+  for seed = 1 to 35 do
+    let script, _, r = run_seed seed in
+    if r.Cse.Pipeline.cse_cost > r.Cse.Pipeline.conventional_cost *. 1.0001 then
+      Alcotest.failf "seed %d: cse %.6g > conventional %.6g\n%s" seed
+        r.Cse.Pipeline.cse_cost r.Cse.Pipeline.conventional_cost script
+  done
+
+let test_execution_matches () =
+  for seed = 1 to 25 do
+    let script, catalog, r = run_seed seed in
+    List.iter
+      (fun (label, plan) ->
+        let v = Sexec.Validate.check ~machines:7 catalog r.Cse.Pipeline.dag plan in
+        if not v.Sexec.Validate.ok then
+          Alcotest.failf "seed %d (%s): %s\n%s" seed label
+            (String.concat "; " v.Sexec.Validate.mismatches)
+            script)
+      [
+        ("conventional", r.Cse.Pipeline.conventional_plan);
+        ("cse", r.Cse.Pipeline.cse_plan);
+      ]
+  done
+
+let test_sharing_materializes_once () =
+  for seed = 1 to 25 do
+    let script, _, r = run_seed seed in
+    let distinct, refs = Scost.Dagcost.spool_counts r.Cse.Pipeline.cse_plan in
+    let n_shared = List.length r.Cse.Pipeline.shared in
+    (* at most one materialization per shared group; every shared group
+       that survives into the final plan has >= 2 references *)
+    if distinct > n_shared then
+      Alcotest.failf "seed %d: %d materializations for %d shared groups\n%s"
+        seed distinct n_shared script;
+    if refs < distinct then Alcotest.failf "seed %d: fewer refs than spools" seed
+  done
+
+let test_phase2_no_worse_than_phase1 () =
+  for seed = 1 to 25 do
+    let _, _, r = run_seed seed in
+    let p1 = Scost.Dagcost.cost Scost.Cluster.default r.Cse.Pipeline.phase1_plan in
+    if r.Cse.Pipeline.cse_cost > p1 +. 1e-6 then
+      Alcotest.failf "seed %d: final %.6g worse than phase 1 %.6g" seed
+        r.Cse.Pipeline.cse_cost p1
+  done
+
+let test_extension_configs_agree () =
+  (* all Section VIII extension combinations produce valid plans; none may
+     beat exhaustive enumeration (they only reorder / prune rounds) *)
+  let configs =
+    [
+      Cse.Config.default;
+      Cse.Config.no_extensions;
+      { Cse.Config.default with Cse.Config.use_independent_groups = false };
+      { Cse.Config.default with Cse.Config.use_group_ranking = false };
+      { Cse.Config.default with Cse.Config.use_property_ranking = false };
+    ]
+  in
+  for seed = 1 to 8 do
+    let script = Sworkload.Random_gen.generate ~seed ~statements:8 () in
+    let catalog = Sworkload.Random_gen.catalog () in
+    let costs =
+      List.map
+        (fun config ->
+          let r = Cse.Pipeline.run ~config ~catalog script in
+          Thelpers.assert_valid_plan "config variant" r.Cse.Pipeline.cse_plan;
+          r.Cse.Pipeline.cse_cost)
+        configs
+    in
+    (* without a budget every configuration explores all its rounds;
+       the no-extensions product space subsumes the sequential one only on
+       independent groups, so allow equal-or-better for the default *)
+    match costs with
+    | default_cost :: _ ->
+        List.iter
+          (fun c ->
+            if default_cost > c *. 1.02 then
+              Alcotest.failf "seed %d: default config much worse (%g vs %g)"
+                seed default_cost c)
+          costs
+    | [] -> ()
+  done
+
+let () =
+  Alcotest.run "random-pipeline"
+    [
+      ( "properties",
+        [
+          Alcotest.test_case "plans valid" `Slow test_plans_valid;
+          Alcotest.test_case "cse never costlier" `Slow test_cse_never_costlier;
+          Alcotest.test_case "execution matches" `Slow test_execution_matches;
+          Alcotest.test_case "single materialization" `Slow
+            test_sharing_materializes_once;
+          Alcotest.test_case "phase 2 monotone" `Slow test_phase2_no_worse_than_phase1;
+          Alcotest.test_case "extension configs" `Slow test_extension_configs_agree;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Unit and property tests for the utility substrate. *)
+
+let test_rng_deterministic () =
+  let a = Sutil.Rng.create 42 and b = Sutil.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Sutil.Rng.next a) (Sutil.Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sutil.Rng.create 1 and b = Sutil.Rng.create 2 in
+  let xs = List.init 10 (fun _ -> Sutil.Rng.next a) in
+  let ys = List.init 10 (fun _ -> Sutil.Rng.next b) in
+  Alcotest.(check bool) "different seeds differ" false (xs = ys)
+
+let test_rng_copy () =
+  let a = Sutil.Rng.create 7 in
+  ignore (Sutil.Rng.next a);
+  let b = Sutil.Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Sutil.Rng.next a)
+    (Sutil.Rng.next b)
+
+let test_rng_bounds () =
+  let rng = Sutil.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Sutil.Rng.int rng 10 in
+    if x < 0 || x >= 10 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_rng_nonnegative () =
+  let rng = Sutil.Rng.create 99 in
+  for _ = 1 to 10_000 do
+    if Sutil.Rng.next rng < 0 then Alcotest.fail "negative rng output"
+  done
+
+let test_rng_int_rejects_zero () =
+  let rng = Sutil.Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sutil.Rng.int rng 0))
+
+let test_shuffle_permutes () =
+  let rng = Sutil.Rng.create 5 in
+  let a = Array.init 20 Fun.id in
+  let s = Sutil.Rng.shuffle rng a in
+  Alcotest.(check (list int))
+    "same multiset"
+    (List.sort compare (Array.to_list a))
+    (List.sort compare (Array.to_list s))
+
+let test_subsets_count () =
+  Alcotest.(check int) "2^4 subsets" 16
+    (List.length (Sutil.Combi.subsets [ 1; 2; 3; 4 ]));
+  Alcotest.(check int) "15 non-empty" 15
+    (List.length (Sutil.Combi.nonempty_subsets [ 1; 2; 3; 4 ]));
+  Alcotest.(check int) "empty list" 1 (List.length (Sutil.Combi.subsets []))
+
+let test_subsets_distinct () =
+  let ss = Sutil.Combi.subsets [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "all distinct" (List.length ss)
+    (List.length (List.sort_uniq compare ss))
+
+let test_permutations () =
+  Alcotest.(check int) "3! perms" 6
+    (List.length (Sutil.Combi.permutations [ 1; 2; 3 ]));
+  let ps = Sutil.Combi.permutations [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "4! distinct" 24 (List.length (List.sort_uniq compare ps))
+
+let test_product () =
+  Alcotest.(check (list (list int)))
+    "row-major product"
+    [ [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ] ]
+    (Sutil.Combi.product [ [ 1; 2 ]; [ 3; 4 ] ]);
+  Alcotest.(check (list (list int))) "empty choice kills product" []
+    (Sutil.Combi.product [ [ 1 ]; [] ]);
+  Alcotest.(check (list (list int))) "nullary product" [ [] ]
+    (Sutil.Combi.product [])
+
+let test_take_drop () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Sutil.Combi.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take more" [ 1 ] (Sutil.Combi.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Sutil.Combi.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop all" [] (Sutil.Combi.drop 5 [ 1 ])
+
+let prop_take_drop =
+  Thelpers.qtest "take n @ drop n = id"
+    QCheck.(pair small_nat (small_list int))
+    (fun (n, l) -> Sutil.Combi.take n l @ Sutil.Combi.drop n l = l)
+
+let prop_subsets_subset =
+  Thelpers.qtest ~count:50 "every subset is a sub-multiset"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 6) small_int)
+    (fun l ->
+      List.for_all
+        (fun s -> List.for_all (fun x -> List.mem x l) s)
+        (Sutil.Combi.subsets l))
+
+let test_strutil () =
+  Alcotest.(check string) "indent" "  a\n  b" (Sutil.Strutil.indent 2 "a\nb");
+  Alcotest.(check bool) "starts_with" true
+    (Sutil.Strutil.starts_with ~prefix:"ab" "abc");
+  Alcotest.(check bool) "not starts_with" false
+    (Sutil.Strutil.starts_with ~prefix:"abc" "ab");
+  Alcotest.(check (float 0.001)) "percent" 50.0
+    (Sutil.Strutil.percent ~base:4.0 2.0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "non-negative" `Quick test_rng_nonnegative;
+          Alcotest.test_case "zero bound" `Quick test_rng_int_rejects_zero;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        ] );
+      ( "combi",
+        [
+          Alcotest.test_case "subset counts" `Quick test_subsets_count;
+          Alcotest.test_case "subsets distinct" `Quick test_subsets_distinct;
+          Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "take/drop" `Quick test_take_drop;
+          prop_take_drop;
+          prop_subsets_subset;
+        ] );
+      ("strutil", [ Alcotest.test_case "basics" `Quick test_strutil ]);
+    ]

@@ -1,0 +1,111 @@
+(* Workload tests: the LS1/LS2 generators must reproduce the published
+   structural statistics of Figure 6 exactly, and the random generator must
+   always produce valid scripts. *)
+
+let structural_stats spec =
+  let script = Sworkload.Large_gen.generate spec in
+  let catalog = Relalg.Catalog.default () in
+  Sworkload.Large_gen.register_files catalog script;
+  let dag = Thelpers.bind ~catalog script in
+  let memo =
+    Smemo.Memo.of_dag ~catalog ~machines:25 (Thelpers.bind ~catalog script)
+  in
+  let shared = Cse.Spool.identify memo in
+  ( Slogical.Dag.size dag,
+    List.sort Int.compare
+      (List.map (fun (s : Cse.Spool.shared) -> s.Cse.Spool.initial_consumers) shared)
+  )
+
+let test_ls1_statistics () =
+  let ops, consumers = structural_stats Sworkload.Large_gen.ls1_spec in
+  Alcotest.(check int) "101 operators in the initial DAG" 101 ops;
+  Alcotest.(check (list int)) "4 shared groups: 3x2 + 1x3 consumers"
+    [ 2; 2; 2; 3 ] consumers
+
+let test_ls2_statistics () =
+  let ops, consumers = structural_stats Sworkload.Large_gen.ls2_spec in
+  Alcotest.(check int) "1034 operators in the initial DAG" 1034 ops;
+  Alcotest.(check (list int)) "17 shared groups: 15x2 + 1x4 + 1x5"
+    [ 2; 2; 2; 2; 2; 2; 2; 2; 2; 2; 2; 2; 2; 2; 2; 4; 5 ]
+    consumers
+
+let test_generator_deterministic () =
+  Alcotest.(check string) "stable output"
+    (Sworkload.Large_gen.ls1 ())
+    (Sworkload.Large_gen.ls1 ())
+
+let test_duplicate_module_merged_by_fingerprints () =
+  (* LS1's module 1 is written as a textual duplicate; without the
+     fingerprint pass it is not detected and only 3 shared groups remain *)
+  let script = Sworkload.Large_gen.ls1 () in
+  let catalog = Relalg.Catalog.default () in
+  Sworkload.Large_gen.register_files catalog script;
+  let memo = Thelpers.memo_of ~catalog script in
+  let shared =
+    Cse.Spool.identify
+      ~config:{ Cse.Config.default with Cse.Config.use_fingerprints = false }
+      memo
+  in
+  Alcotest.(check int) "3 without fingerprints" 3 (List.length shared)
+
+let test_filler_sizes_exact () =
+  List.iter
+    (fun n ->
+      let sizes = Sworkload.Large_gen.filler_sizes n in
+      let total = List.fold_left (fun acc g -> acc + g + 2) 0 sizes in
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) n total)
+    [ 0; 3; 4; 9; 10; 11; 12; 37; 74; 100; 921 ]
+
+let test_paper_scripts_bind () =
+  List.iter
+    (fun (name, s) ->
+      match Thelpers.bind s with
+      | _ -> ()
+      | exception e -> Alcotest.failf "%s: %s" name (Printexc.to_string e))
+    Sworkload.Paper_scripts.all
+
+let test_random_scripts_bind () =
+  for seed = 1 to 60 do
+    let script = Sworkload.Random_gen.generate ~seed ~statements:12 () in
+    let catalog = Sworkload.Random_gen.catalog () in
+    match Slogical.Binder.bind ~catalog (Slang.Parser.parse_script script) with
+    | _ -> ()
+    | exception e ->
+        Alcotest.failf "seed %d: %s\n%s" seed (Printexc.to_string e) script
+  done
+
+let test_random_scripts_sometimes_share () =
+  (* the random family must actually exercise the CSE machinery *)
+  let with_sharing = ref 0 in
+  for seed = 1 to 30 do
+    let script = Sworkload.Random_gen.generate ~seed ~statements:12 () in
+    let catalog = Sworkload.Random_gen.catalog () in
+    let memo =
+      Smemo.Memo.of_dag ~catalog ~machines:25
+        (Slogical.Binder.bind ~catalog (Slang.Parser.parse_script script))
+    in
+    if Cse.Spool.identify memo <> [] then incr with_sharing
+  done;
+  Alcotest.(check bool) "most random scripts contain sharing" true
+    (!with_sharing > 15)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "large scripts",
+        [
+          Alcotest.test_case "LS1 statistics" `Quick test_ls1_statistics;
+          Alcotest.test_case "LS2 statistics" `Quick test_ls2_statistics;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "duplicates need fingerprints" `Quick
+            test_duplicate_module_merged_by_fingerprints;
+          Alcotest.test_case "filler sizes" `Quick test_filler_sizes_exact;
+        ] );
+      ( "scripts",
+        [
+          Alcotest.test_case "paper scripts bind" `Quick test_paper_scripts_bind;
+          Alcotest.test_case "random scripts bind" `Quick test_random_scripts_bind;
+          Alcotest.test_case "random scripts share" `Quick
+            test_random_scripts_sometimes_share;
+        ] );
+    ]

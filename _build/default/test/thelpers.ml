@@ -1,0 +1,54 @@
+(* Shared helpers for the test suites. *)
+
+let default_catalog () = Relalg.Catalog.default ()
+
+(* Parse and bind a script against the default catalog. *)
+let bind ?(catalog = default_catalog ()) script =
+  Slogical.Binder.bind ~catalog (Slang.Parser.parse_script script)
+
+let memo_of ?(catalog = default_catalog ()) ?(machines = 25) script =
+  Smemo.Memo.of_dag ~catalog ~machines (bind ~catalog script)
+
+(* Assert a plan passes the independent validity checker. *)
+let assert_valid_plan name plan =
+  match Sphys.Plan_check.validate plan with
+  | Ok () -> ()
+  | Error errs ->
+      Alcotest.failf "%s: invalid plan:\n%s" name
+        (Sphys.Plan_check.violations_to_string errs)
+
+(* Run the full pipeline on a script with the default catalog. *)
+let pipeline ?config ?budget ?(catalog = default_catalog ()) script =
+  Cse.Pipeline.run ?config ?budget ~catalog script
+
+(* Operator multiset of a plan, as short names. *)
+let op_names plan =
+  List.map Sphys.Physop.short_name (Sphys.Plan.operators plan)
+  |> List.sort String.compare
+
+let count_op name plan =
+  List.length (List.filter (String.equal name) (op_names plan))
+
+(* Count operators over physically-distinct nodes: a shared (spool) subtree
+   referenced several times is walked once. *)
+let distinct_count_op name plan =
+  let seen = ref [] in
+  let count = ref 0 in
+  let rec go (n : Sphys.Plan.t) =
+    if not (List.exists (fun p -> p == n) !seen) then begin
+      seen := n :: !seen;
+      if Sphys.Physop.short_name n.Sphys.Plan.op = name then incr count;
+      List.iter go n.Sphys.Plan.children
+    end
+  in
+  go plan;
+  !count
+
+let colset = Relalg.Colset.of_list
+
+(* Alcotest testables *)
+let colset_t = Alcotest.testable Relalg.Colset.pp Relalg.Colset.equal
+let value_t = Alcotest.testable Relalg.Value.pp Relalg.Value.equal
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
