@@ -51,11 +51,21 @@ let workloads () =
       prepare_large Sworkload.Large_gen.ls2_spec 60.0;
     ]
 
-let run_pipeline ?config (w : prepared) =
+(* Every pipeline run in this harness is audited (Cse.Config.audit): the
+   full static-analysis suite over the memo, sharing structure, logical
+   DAG and all three plans, failing loudly if anything does not
+   reproduce.  The timing section opts out so the audit does not pollute
+   the Section IX optimization-time measurements. *)
+let run_pipeline ?(audit = true) ?(config = Cse.Config.default) (w : prepared) =
+  let config = { config with Cse.Config.audit = audit } in
   let budget =
     Option.map (fun s -> Sopt.Budget.create ~max_seconds:s ()) w.budget_seconds
   in
-  Cse.Pipeline.run ?config ?budget ~catalog:w.catalog w.script
+  let r = Cse.Pipeline.run ~config ?budget ~catalog:w.catalog w.script in
+  if config.Cse.Config.audit then
+    Sanalysis.Audit.assert_clean ~cluster:Scost.Cluster.default
+      ~catalog:w.catalog r;
+  r
 
 (* --- fig6: workload statistics ----------------------------------------- *)
 
@@ -392,7 +402,10 @@ let opt_time () =
             let ctx = Sopt.Optimizer.create ~cluster:Scost.Cluster.default memo in
             ignore (Sopt.Optimizer.optimize_root ctx))
       in
-      let cse = measure_seconds (w.name ^ "-cse") (fun () -> ignore (run_pipeline w)) in
+      let cse =
+        measure_seconds (w.name ^ "-cse") (fun () ->
+            ignore (run_pipeline ~audit:false w))
+      in
       Fmt.pr "%-5s %15.4fs %15.4fs@." w.name conv cse)
     (workloads ())
 

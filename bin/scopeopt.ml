@@ -5,10 +5,12 @@
      explain   - print the logical DAG and the memo with shared groups
      optimize  - run both optimizers and print plans, costs and statistics
      run       - optimize, execute on the simulated cluster, show outputs
+     lint      - optimize, then run the full static-analysis audit
      workload  - print a built-in workload script (S1-S4, LS1, LS2)
 
    Scripts are read from a file argument or from one of the built-in
-   workloads via --builtin. *)
+   workloads via --builtin.  [optimize] and [run] accept --audit to run
+   the same audit as [lint] after printing their reports. *)
 
 open Cmdliner
 
@@ -84,6 +86,27 @@ let verbose_arg =
     & info [ "verbose"; "v" ]
         ~doc:"Log re-optimization rounds and phase summaries to stderr.")
 
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "After optimizing, run the full static-analysis audit (memo, \
+           sharing, logical-DAG and plan-DAG passes) and fail on any \
+           error-severity diagnostic.")
+
+(* Run every analyzer pass over a finished pipeline report; returns the
+   exit code from the diagnostic severity mapping. *)
+let run_audit ~strict ~cluster ~catalog r =
+  let diags = Sanalysis.Audit.report ~cluster ~catalog r in
+  if diags = [] then Fmt.pr "audit clean: no diagnostics@."
+  else Fmt.pr "%a" Sanalysis.Diag.pp_report diags;
+  Fmt.pr "%a" Sanalysis.Diag.pp_summary diags;
+  let fail_on =
+    if strict then Sanalysis.Diag.Warning else Sanalysis.Diag.Error
+  in
+  Sanalysis.Diag.exit_code ~fail_on diags
+
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -136,12 +159,13 @@ let explain_cmd =
 (* --- optimize ---------------------------------------------------------- *)
 
 let optimize run_exec =
-  let f machines budget no_ext verbose dot script =
+  let f machines budget no_ext verbose audit dot script =
     setup_logs verbose;
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
     let config =
-      if no_ext then Cse.Config.no_extensions else Cse.Config.default
+      let base = if no_ext then Cse.Config.no_extensions else Cse.Config.default in
+      { base with Cse.Config.audit }
     in
     let budget = Option.map (fun s -> Sopt.Budget.create ~max_seconds:s ()) budget in
     let r = Cse.Pipeline.run ~config ?budget ~cluster ~catalog script in
@@ -188,14 +212,18 @@ let optimize run_exec =
         v.Sexec.Validate.counters.Sexec.Engine.spool_reads;
       List.iter (fun m -> Fmt.pr "  %s@." m) v.Sexec.Validate.mismatches
     end;
-    Ok ()
+    if config.Cse.Config.audit then begin
+      let code = run_audit ~strict:false ~cluster ~catalog r in
+      if code <> 0 then Error (`Msg "audit found errors") else Ok ()
+    end
+    else Ok ()
   in
   Term.(
     term_result
-      (const (fun m b e v d file builtin ->
-           Result.bind (read_script file builtin) (f m b e v d))
-      $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ dot_arg
-      $ file_arg $ builtin_arg))
+      (const (fun m b e v a d file builtin ->
+           Result.bind (read_script file builtin) (f m b e v a d))
+      $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ audit_arg
+      $ dot_arg $ file_arg $ builtin_arg))
 
 let optimize_cmd =
   Cmd.v
@@ -208,6 +236,53 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Optimize and execute on the simulated cluster, validating results")
     (optimize true)
+
+(* --- lint -------------------------------------------------------------- *)
+
+let lint_cmd =
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Fail on warnings as well as errors.")
+  in
+  let f machines budget no_ext verbose strict script =
+    setup_logs verbose;
+    let catalog = make_catalog script in
+    let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
+    let config =
+      if no_ext then Cse.Config.no_extensions else Cse.Config.default
+    in
+    let budget =
+      Option.map (fun s -> Sopt.Budget.create ~max_seconds:s ()) budget
+    in
+    match Cse.Pipeline.run ~config ?budget ~cluster ~catalog script with
+    | r -> (
+        Fmt.pr
+          "optimized: %d operators, %d shared groups, conventional %.5g, CSE \
+           %.5g@."
+          (Slogical.Dag.size r.Cse.Pipeline.dag)
+          (List.length r.Cse.Pipeline.shared)
+          r.Cse.Pipeline.conventional_cost r.Cse.Pipeline.cse_cost;
+        match run_audit ~strict ~cluster ~catalog r with
+        | 0 -> Ok ()
+        | code -> exit code)
+    | exception Slang.Parser.Error (msg, _) -> Error (`Msg msg)
+    | exception Slang.Lexer.Error (msg, _) -> Error (`Msg msg)
+    | exception Slogical.Binder.Error msg -> Error (`Msg msg)
+    | exception Cse.Pipeline.No_plan msg -> Error (`Msg msg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Optimize a script, then run the full static-analysis audit (memo \
+          auditor, sharing auditor, logical-DAG lint, plan-DAG lint); exits \
+          non-zero on error diagnostics")
+    Term.(
+      term_result
+        (const (fun m b e v s file builtin ->
+             Result.bind (read_script file builtin) (f m b e v s))
+        $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ strict_arg
+        $ file_arg $ builtin_arg))
 
 (* --- workload ---------------------------------------------------------- *)
 
@@ -235,6 +310,6 @@ let main =
        ~doc:
          "Cost-based common-subexpression optimization for cloud query \
           processing (ICDE 2012 reproduction)")
-    [ parse_cmd; explain_cmd; optimize_cmd; run_cmd; workload_cmd ]
+    [ parse_cmd; explain_cmd; optimize_cmd; run_cmd; lint_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,23 @@
+(* Facade: compose the four analyzer passes over a pipeline report. *)
+
+let memo_and_plan ~cluster ?plan (memo : Smemo.Memo.t) =
+  Memo_audit.run ~cluster memo
+  @ Sharing_audit.run ?plan memo
+  @ match plan with Some p -> Plan_audit.run p | None -> []
+
+let report ~cluster ~catalog (r : Cse.Pipeline.report) =
+  let machines = cluster.Scost.Cluster.machines in
+  Logical_audit.run ~catalog ~machines r.Cse.Pipeline.dag
+  @ Memo_audit.run ~cluster r.Cse.Pipeline.memo
+  @ Sharing_audit.run ~degraded:r.Cse.Pipeline.budget_exhausted
+      ~candidates:r.Cse.Pipeline.candidate_props
+      ~plan:r.Cse.Pipeline.cse_plan r.Cse.Pipeline.memo
+  @ Plan_audit.run r.Cse.Pipeline.conventional_plan
+  @ Plan_audit.run r.Cse.Pipeline.phase1_plan
+  @ Plan_audit.run r.Cse.Pipeline.cse_plan
+
+let assert_clean ~cluster ~catalog r =
+  let diags = report ~cluster ~catalog r in
+  match Diag.errors diags with
+  | [] -> ()
+  | _ -> failwith (Fmt.str "audit failed:@.%a" Diag.pp_report diags)

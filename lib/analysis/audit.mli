@@ -1,0 +1,33 @@
+(** Facade of the static-analysis layer: run every analyzer pass over the
+    optimizer's own data structures after optimization.
+
+    The individual passes live in {!Memo_audit}, {!Sharing_audit},
+    {!Logical_audit} and {!Plan_audit}; this module composes them over a
+    full {!Cse.Pipeline.report} and offers an assertion helper for
+    harnesses honoring {!Cse.Config.audit}. *)
+
+(** Diagnostics of every pass over a full pipeline report: logical-DAG
+    lint over the bound DAG, memo audit over the CSE memo, sharing audit
+    (with the report's phase-2 candidate property sets and the final CSE
+    plan), and plan-DAG lint over the conventional, phase-1 and CSE
+    plans. *)
+val report :
+  cluster:Scost.Cluster.t ->
+  catalog:Relalg.Catalog.t ->
+  Cse.Pipeline.report ->
+  Diag.t list
+
+(** Audit a single optimized memo and plan outside the pipeline. *)
+val memo_and_plan :
+  cluster:Scost.Cluster.t ->
+  ?plan:Sphys.Plan.t ->
+  Smemo.Memo.t ->
+  Diag.t list
+
+(** Raise [Failure] with the pretty report when the audit of a pipeline
+    report finds any error-severity diagnostic. *)
+val assert_clean :
+  cluster:Scost.Cluster.t ->
+  catalog:Relalg.Catalog.t ->
+  Cse.Pipeline.report ->
+  unit

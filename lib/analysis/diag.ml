@@ -1,0 +1,102 @@
+(* The diagnostics framework of the static-analysis layer.
+
+   A diagnostic is a finding of one analyzer pass: a stable code (SA0xx),
+   a severity, a location inside the audited structure and a message.
+   Codes are registered in the catalog below; [make] refuses unknown codes
+   so passes cannot emit undocumented diagnostics. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Group of int
+  | Winner of int * string
+  | Node of int
+  | Operator of string
+  | Whole
+
+type t = { code : string; severity : severity; loc : location; message : string }
+
+(* One entry per diagnostic the four passes can emit.  Codes are stable:
+   tests assert on them and users grep for them; never renumber. *)
+let catalog =
+  [
+    (* memo auditor *)
+    ("SA001", Error, "cycle in memo group references");
+    ("SA002", Error, "group expression incompatible with its group's schema");
+    ("SA003", Error, "memoized winner cost does not reproduce from the cost model");
+    ("SA004", Error, "memoized winner plan violates the plan checker");
+    ("SA005", Error, "memoized winner does not satisfy its recorded requirement");
+    ("SA006", Error, "infeasibility marker contradicted by a feasible winner");
+    ("SA007", Warning, "winner plan implements a different group");
+    (* sharing auditor *)
+    ("SA010", Error, "group marked shared is not a spool group");
+    ("SA011", Warning, "shared group has fewer than two consumers");
+    ("SA012", Error, "phase-2 candidate property set empty or duplicated");
+    ("SA013", Error, "shared group materialized more than once in the plan");
+    ("SA014", Warning, "plan spools a group that is not marked shared");
+    (* logical-DAG lint *)
+    ("SA020", Error, "operator references a column missing from its children");
+    ("SA021", Error, "statistics are not sane (negative or NaN)");
+    ("SA022", Warning, "column NDV exceeds the estimated row count");
+    (* plan-DAG lint *)
+    ("SA030", Error, "operator input requirements violated in the plan DAG");
+    ("SA031", Error, "plan node cost is not op_cost plus children's costs");
+    ("SA032", Error, "operator cost is negative or not finite");
+    ("SA033", Warning, "spool node carries no memo group id");
+  ]
+
+let default_severity code =
+  match List.find_opt (fun (c, _, _) -> c = code) catalog with
+  | Some (_, s, _) -> s
+  | None -> invalid_arg (Printf.sprintf "Diag.make: unknown code %s" code)
+
+let make ?severity ~code ~loc message =
+  let default = default_severity code in
+  { code; severity = Option.value ~default severity; loc; message }
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let summary ds =
+  List.filter_map
+    (fun (code, _, _) ->
+      match List.length (List.filter (fun d -> d.code = code) ds) with
+      | 0 -> None
+      | n -> Some (code, n))
+    catalog
+
+let rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let exit_code ?(fail_on = Error) ds =
+  if List.exists (fun d -> rank d.severity >= rank fail_on) ds then 1 else 0
+
+let pp_severity ppf s =
+  Fmt.string ppf
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let pp_location ppf = function
+  | Group g -> Fmt.pf ppf "group %d" g
+  | Winner (g, req) -> Fmt.pf ppf "group %d winner [%s]" g req
+  | Node n -> Fmt.pf ppf "node %d" n
+  | Operator op -> Fmt.pf ppf "operator %s" op
+  | Whole -> Fmt.string ppf "whole structure"
+
+let pp ppf d =
+  Fmt.pf ppf "%s %a at %a: %s" d.code pp_severity d.severity pp_location d.loc
+    d.message
+
+let pp_report ppf ds =
+  let ds = List.stable_sort (fun a b -> String.compare a.code b.code) ds in
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) ds;
+  Fmt.pf ppf "%d error(s), %d warning(s)@."
+    (List.length (errors ds))
+    (List.length (warnings ds))
+
+let pp_summary ppf ds =
+  Fmt.pf ppf "lint-summary errors=%d warnings=%d"
+    (List.length (errors ds))
+    (List.length (warnings ds));
+  List.iter (fun (code, n) -> Fmt.pf ppf " %s=%d" code n) (summary ds);
+  Fmt.pf ppf "@."
+
+let to_string d = Fmt.str "%a" pp d

@@ -1,0 +1,56 @@
+(** The diagnostics framework of the static-analysis layer.
+
+    Every analyzer pass reports findings as {!t} values carrying a stable
+    code ([SA0xx]), a severity, a location inside the audited structure and
+    a human-readable message. The framework provides the code catalog, a
+    pretty reporter, a machine-readable summary and the exit-code mapping
+    used by [scopeopt lint]. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Group of int  (** a memo group *)
+  | Winner of int * string
+      (** a memoized winner: group id × requirement description *)
+  | Node of int  (** a logical-DAG node *)
+  | Operator of string  (** a physical plan operator *)
+  | Whole  (** the audited structure as a whole *)
+
+type t = {
+  code : string;  (** stable diagnostic code, e.g. ["SA003"] *)
+  severity : severity;
+  loc : location;
+  message : string;
+}
+
+(** Catalog of every diagnostic code: [(code, default severity, short
+    description)]. Analyzer passes only emit codes listed here. *)
+val catalog : (string * severity * string) list
+
+(** Build a diagnostic; the severity defaults to the catalog entry's.
+    Raises [Invalid_argument] on a code missing from the catalog. *)
+val make : ?severity:severity -> code:string -> loc:location -> string -> t
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+(** Per-code occurrence counts, catalog order. *)
+val summary : t list -> (string * int) list
+
+(** Exit-code mapping: [0] when no diagnostic at or above [fail_on]
+    (default [Error]) was reported, [1] otherwise. *)
+val exit_code : ?fail_on:severity -> t list -> int
+
+val pp_severity : severity Fmt.t
+val pp_location : location Fmt.t
+val pp : t Fmt.t
+
+(** Full human-readable report: one line per diagnostic, sorted by code,
+    followed by a count line. *)
+val pp_report : t list Fmt.t
+
+(** One-line machine-readable summary:
+    [lint-summary errors=E warnings=W SAxxx=n ...]. *)
+val pp_summary : t list Fmt.t
+
+val to_string : t -> string

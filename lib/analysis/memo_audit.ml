@@ -1,0 +1,223 @@
+open Sphys
+
+(* Memo auditor (the heart of the analysis layer).
+
+   The memo is the optimizer's single source of truth: a winner memoized
+   under the wrong requirement key, a cost that does not reproduce from
+   the cost model, or a stale infeasibility marker silently changes which
+   CSE plan wins -- without producing a wrong *result*, only a wrong
+   *choice*.  This pass recomputes everything that can be recomputed and
+   flags what does not reproduce. *)
+
+let cost_tolerance = 1e-6
+
+let close a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= cost_tolerance *. scale
+
+(* --- SA001: the group-reference graph is acyclic ----------------------- *)
+
+let cycle_diags (memo : Smemo.Memo.t) =
+  let n = Smemo.Memo.size memo in
+  (* 0 = unvisited, 1 = on the current DFS path, 2 = done *)
+  let color = Array.make n 0 in
+  let diags = ref [] in
+  let rec visit path gid =
+    if gid < 0 || gid >= n then
+      let loc =
+        match path with [] -> Diag.Whole | p :: _ -> Diag.Group p
+      in
+      diags :=
+        Diag.make ~code:"SA001" ~loc
+          (Printf.sprintf "reference to non-existent group %d" gid)
+        :: !diags
+    else if color.(gid) = 1 then
+      diags :=
+        Diag.make ~code:"SA001" ~loc:(Diag.Group gid)
+          (Printf.sprintf "group cycle: %s"
+             (String.concat " -> "
+                (List.rev_map string_of_int (gid :: path))))
+        :: !diags
+    else if color.(gid) = 0 then begin
+      color.(gid) <- 1;
+      List.iter
+        (visit (gid :: path))
+        (Smemo.Memo.group_children (Smemo.Memo.group memo gid));
+      color.(gid) <- 2
+    end
+  in
+  visit [] memo.Smemo.Memo.root;
+  List.rev !diags
+
+(* --- SA002: expression arity and schema compatibility ------------------ *)
+
+let expr_diags (memo : Smemo.Memo.t) (g : Smemo.Memo.group) =
+  let loc = Diag.Group g.Smemo.Memo.id in
+  List.concat_map
+    (fun (e : Smemo.Memo.mexpr) ->
+      let arity_ok =
+        match Slogical.Logop.arity e.Smemo.Memo.mop with
+        | Some k -> k = List.length e.Smemo.Memo.children
+        | None -> true
+      in
+      if not arity_ok then
+        [
+          Diag.make ~code:"SA002" ~loc
+            (Printf.sprintf "%s has %d children"
+               (Slogical.Logop.short_name e.Smemo.Memo.mop)
+               (List.length e.Smemo.Memo.children));
+        ]
+      else
+        let child_schemas =
+          List.filter_map
+            (fun c ->
+              if c >= 0 && c < Smemo.Memo.size memo then
+                Some (Smemo.Memo.group memo c).Smemo.Memo.schema
+              else None)
+            e.Smemo.Memo.children
+        in
+        if List.length child_schemas <> List.length e.Smemo.Memo.children then
+          [] (* dangling reference already reported as SA001 *)
+        else
+          match
+            Slogical.Logop.derive_schema e.Smemo.Memo.mop child_schemas
+          with
+          | derived ->
+              if Relalg.Schema.equal derived g.Smemo.Memo.schema then []
+              else
+                [
+                  Diag.make ~code:"SA002" ~loc
+                    (Printf.sprintf
+                       "%s derives schema (%s), group schema is (%s)"
+                       (Slogical.Logop.short_name e.Smemo.Memo.mop)
+                       (Relalg.Schema.to_string derived)
+                       (Relalg.Schema.to_string g.Smemo.Memo.schema));
+                ]
+          | exception Invalid_argument msg ->
+              [ Diag.make ~code:"SA002" ~loc msg ])
+    g.Smemo.Memo.exprs
+
+(* --- winner checks ----------------------------------------------------- *)
+
+(* Recompute the plan's costs bottom-up: every node's [op_cost] must
+   reproduce from the cost model over its children and its [cost] must be
+   the additive total.  Distinct nodes are visited once (the plan may be a
+   DAG through shared spools). *)
+let cost_diags ~cluster ~loc (plan : Plan.t) =
+  let seen = ref [] in
+  let diags = ref [] in
+  let rec go (n : Plan.t) =
+    if not (List.exists (fun p -> p == n) !seen) then begin
+      seen := n :: !seen;
+      List.iter go n.Plan.children;
+      let expected =
+        Scost.Costmodel.op_cost cluster n.Plan.op n.Plan.children
+          ~out:n.Plan.stats
+      in
+      if not (close expected n.Plan.op_cost) then
+        diags :=
+          Diag.make ~code:"SA003" ~loc
+            (Printf.sprintf
+               "%s records op_cost %.6g, cost model reproduces %.6g"
+               (Physop.short_name n.Plan.op) n.Plan.op_cost expected)
+          :: !diags;
+      let additive =
+        List.fold_left
+          (fun acc c -> acc +. c.Plan.cost)
+          n.Plan.op_cost n.Plan.children
+      in
+      if not (close additive n.Plan.cost) then
+        diags :=
+          Diag.make ~code:"SA003" ~loc
+            (Printf.sprintf
+               "%s records tree cost %.6g, children sum to %.6g"
+               (Physop.short_name n.Plan.op) n.Plan.cost additive)
+          :: !diags
+    end
+  in
+  go plan;
+  List.rev !diags
+
+let winner_diags ~cluster (g : Smemo.Memo.group) =
+  let winners = Smemo.Memo.winners_of g in
+  List.concat_map
+    (fun (w : Smemo.Memo.winner) ->
+      let loc =
+        Diag.Winner
+          ( g.Smemo.Memo.id,
+            Printf.sprintf "phase %d, %s" w.Smemo.Memo.wphase
+              (Reqprops.to_string w.Smemo.Memo.wreq) )
+      in
+      match w.Smemo.Memo.wplan with
+      | Some p ->
+          let root_diags =
+            if p.Plan.group = g.Smemo.Memo.id then []
+            else
+              [
+                Diag.make ~code:"SA007" ~loc
+                  (Printf.sprintf "winner root implements group %d" p.Plan.group);
+              ]
+          in
+          let check_diags =
+            match Plan_check.validate p with
+            | Ok () -> []
+            | Error errs ->
+                List.map
+                  (fun e -> Diag.make ~code:"SA004" ~loc (Plan_check.violations_to_string [ e ]))
+                  errs
+          in
+          let req_diags =
+            if Reqprops.satisfied p.Plan.props w.Smemo.Memo.wreq then []
+            else
+              [
+                Diag.make ~code:"SA005" ~loc
+                  (Printf.sprintf "winner delivers %s"
+                     (Props.to_string p.Plan.props));
+              ]
+          in
+          root_diags @ check_diags @ req_diags @ cost_diags ~cluster ~loc p
+      | None ->
+          (* an infeasibility marker must not be contradicted by a feasible
+             winner of the same group recorded in the same phase under the
+             same enforcement map (identical search space) *)
+          let contradiction =
+            List.find_opt
+              (fun (w' : Smemo.Memo.winner) ->
+                w'.Smemo.Memo.wphase = w.Smemo.Memo.wphase
+                && w'.Smemo.Memo.wenforce = w.Smemo.Memo.wenforce
+                &&
+                match w'.Smemo.Memo.wplan with
+                | Some p' -> Reqprops.satisfied p'.Plan.props w.Smemo.Memo.wreq
+                | None -> false)
+              winners
+          in
+          (match contradiction with
+          | Some w' ->
+              [
+                Diag.make ~code:"SA006" ~loc
+                  (Printf.sprintf
+                     "marked infeasible, but the winner for %s satisfies it"
+                     (Reqprops.to_string w'.Smemo.Memo.wreq));
+              ]
+          | None -> []))
+    (List.stable_sort
+       (fun (a : Smemo.Memo.winner) b ->
+         compare
+           (a.Smemo.Memo.wphase, Reqprops.to_key a.Smemo.Memo.wreq)
+           (b.Smemo.Memo.wphase, Reqprops.to_key b.Smemo.Memo.wreq))
+       winners)
+
+let run ~cluster (memo : Smemo.Memo.t) : Diag.t list =
+  let cycles = cycle_diags memo in
+  let live = Smemo.Memo.reachable memo in
+  let rest = ref [] in
+  Smemo.Memo.iter_groups memo (fun g ->
+      if live.(g.Smemo.Memo.id) then
+        rest :=
+          !rest
+          @ expr_diags memo g
+          @ Logical_audit.stats_diags
+              ~loc:(Diag.Group g.Smemo.Memo.id)
+              g.Smemo.Memo.stats
+          @ winner_diags ~cluster g);
+  cycles @ !rest

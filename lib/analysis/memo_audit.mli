@@ -1,0 +1,24 @@
+(** Memo auditor.
+
+    Structural checks over the memo after optimization: group references
+    form a DAG (SA001), every group expression is arity- and
+    schema-compatible with its group (SA002), and group statistics are sane
+    (SA021/SA022).
+
+    Winner checks re-verify the memo's bookkeeping: each memoized winner's
+    cost is recomputed bottom-up from the cost model (SA003), the plan is
+    run through the independent plan checker (SA004), its delivered
+    properties are checked against the recorded requirement (SA005), its
+    root must implement the audited group (SA007), and every infeasibility
+    marker is checked against feasible winners of the same group, phase and
+    enforcement map (SA006). *)
+
+(** Relative tolerance for cost-reproduction comparisons. *)
+val cost_tolerance : float
+
+(** Audit one winner plan's costs against the cost model. *)
+val cost_diags :
+  cluster:Scost.Cluster.t -> loc:Diag.location -> Sphys.Plan.t -> Diag.t list
+
+(** Run the full memo audit. *)
+val run : cluster:Scost.Cluster.t -> Smemo.Memo.t -> Diag.t list

@@ -1,0 +1,54 @@
+open Sphys
+
+(* Plan-DAG lint.
+
+   [Plan_check.validate] folds over the plan as a tree: a subplan
+   referenced k times is checked k times, and nothing inspects the
+   DAG-level bookkeeping (additive costs, spool group ids) that the
+   deduplicated costing relies on.  This pass walks distinct nodes by
+   physical identity exactly once and layers the DAG checks on top of the
+   per-operator checks. *)
+
+let run (plan : Plan.t) : Diag.t list =
+  let seen = ref [] in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let rec go (n : Plan.t) =
+    if not (List.exists (fun p -> p == n) !seen) then begin
+      seen := n :: !seen;
+      List.iter go n.Plan.children;
+      let loc = Diag.Operator (Physop.short_name n.Plan.op) in
+      (* the per-operator checks of the independent checker *)
+      List.iter
+        (fun (v : Plan_check.violation) ->
+          emit
+            (Diag.make ~code:"SA030" ~loc
+               (Printf.sprintf "%s: %s" v.Plan_check.where v.Plan_check.what)))
+        (Plan_check.check_op n);
+      (* DAG-level bookkeeping *)
+      if Float.is_nan n.Plan.op_cost || n.Plan.op_cost < 0.0 || n.Plan.op_cost = Float.infinity
+      then
+        emit
+          (Diag.make ~code:"SA032" ~loc
+             (Printf.sprintf "op_cost is %s" (Float.to_string n.Plan.op_cost)));
+      let additive =
+        List.fold_left
+          (fun acc c -> acc +. c.Plan.cost)
+          n.Plan.op_cost n.Plan.children
+      in
+      let scale = Float.max 1.0 (Float.abs n.Plan.cost) in
+      if Float.abs (additive -. n.Plan.cost) > 1e-6 *. scale then
+        emit
+          (Diag.make ~code:"SA031" ~loc
+             (Printf.sprintf "records cost %.6g, op_cost + children = %.6g"
+                n.Plan.cost additive));
+      match n.Plan.op with
+      | Physop.P_spool when n.Plan.group < 0 ->
+          emit
+            (Diag.make ~code:"SA033" ~loc
+               "spool without a memo group id cannot be deduplicated")
+      | _ -> ()
+    end
+  in
+  go plan;
+  List.rev !diags

@@ -1,0 +1,11 @@
+(** Plan-DAG lint.
+
+    Generalizes the tree-oriented {!Sphys.Plan_check} to the shared-plan
+    DAG: every {e distinct} node (by physical identity) is checked exactly
+    once, so shared spool subplans referenced by several consumers are
+    neither skipped nor multiply reported. Adds DAG-level bookkeeping
+    checks: additive cost consistency (SA031), finite non-negative operator
+    costs (SA032) and spool group-id presence (SA033). *)
+
+(** Run the lint over every distinct node of the plan DAG. *)
+val run : Sphys.Plan.t -> Diag.t list

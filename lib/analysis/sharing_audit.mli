@@ -1,0 +1,28 @@
+(** Sharing auditor.
+
+    Checks the shared/spool-group structure produced by Algorithm 1 and
+    consumed by phase 2: every group with [shared = true] is a spool group
+    (SA010) with at least two consumers (SA011), the phase-2 candidate
+    property sets are non-empty and duplicate-free (SA012), and the final
+    plan materializes each shared group at most once (SA013) and only
+    spools groups actually marked shared (SA014). *)
+
+(** Candidate-property diagnostics for one shared group. *)
+val candidates_diags : shared:int -> Sphys.Reqprops.t list -> Diag.t list
+
+(** Spool-materialization diagnostics of a final plan against the memo's
+    shared flags. When [degraded] (a budget-truncated optimization), a
+    multiple materialization is reported as a warning: with phase 2 cut
+    short the plan legitimately falls back to the phase-1 shape, one
+    materialization per distinct property requirement. *)
+val plan_diags :
+  ?degraded:bool -> memo:Smemo.Memo.t -> Sphys.Plan.t -> Diag.t list
+
+(** Run the full sharing audit. [candidates] maps each shared group to its
+    phase-2 property sets; [plan] is the final optimized plan. *)
+val run :
+  ?degraded:bool ->
+  ?candidates:(int * Sphys.Reqprops.t list) list ->
+  ?plan:Sphys.Plan.t ->
+  Smemo.Memo.t ->
+  Diag.t list

@@ -15,6 +15,10 @@ type t = {
          (Section V expansion, bounded for wide keys) *)
   max_properties_per_group : int option;
       (* optional cap on the per-shared-group history used for rounds *)
+  audit : bool;
+      (* ask harnesses (tests, bench, CLI) to run the full static-analysis
+         audit on every optimized plan; the pipeline itself cannot run it
+         (the analysis library sits above this one), so callers honor it *)
 }
 
 let default =
@@ -25,6 +29,7 @@ let default =
     use_property_ranking = true;
     subset_expansion_cap = 4;
     max_properties_per_group = None;
+    audit = false;
   }
 
 (* Base framework with every large-script extension disabled. *)

@@ -13,9 +13,13 @@ type t = {
           singletons + adjacent pairs instead of all subsets *)
   max_properties_per_group : int option;
       (** optional cap on the per-shared-group history used for rounds *)
+  audit : bool;
+      (** ask harnesses (tests, bench, CLI) to run the full static-analysis
+          audit on every optimized plan; honored by the callers since the
+          analysis library sits above this one *)
 }
 
-(** Everything on; expansion cap 4; no property cap. *)
+(** Everything on; expansion cap 4; no property cap; audit off. *)
 val default : t
 
 (** The base framework with all Section VIII extensions disabled. *)

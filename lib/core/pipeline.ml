@@ -22,6 +22,7 @@ type report = {
   cse_cost : float;
   cse_time : float;
   cse_tasks : int;
+  budget_exhausted : bool;
   phase1_plan : Plan.t;
   memo : Smemo.Memo.t;
   shared : Spool.shared list;
@@ -30,6 +31,8 @@ type report = {
   rounds_naive : int;
   rounds_sequential : int;
   history_sizes : (int * int) list; (* shared group -> #property sets *)
+  candidate_props : (int * Sphys.Reqprops.t list) list;
+  (* shared group -> phase-2 candidate property sets, in round order *)
   shared_info : Shared_info.t;
 }
 
@@ -128,6 +131,13 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
           List.length (History.entries state.Phase2.history s.Spool.spool) ))
       shared
   in
+  let candidate_props =
+    List.map
+      (fun (s : Spool.shared) ->
+        ( s.Spool.spool,
+          History.ranked_properties state.Phase2.history s.Spool.spool ))
+      shared
+  in
   {
     script;
     dag;
@@ -139,6 +149,7 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     cse_cost = Scost.Dagcost.cost cluster cse_plan;
     cse_time;
     cse_tasks = outcome.Phase2.budget.Sopt.Budget.tasks;
+    budget_exhausted = Sopt.Budget.exhausted outcome.Phase2.budget;
     phase1_plan;
     memo;
     shared;
@@ -147,5 +158,6 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     rounds_naive = state.Phase2.rounds_naive;
     rounds_sequential = state.Phase2.rounds_sequential;
     history_sizes;
+    candidate_props;
     shared_info = si;
   }

@@ -17,6 +17,10 @@ type report = {
   cse_cost : float;
   cse_time : float;
   cse_tasks : int;
+  budget_exhausted : bool;
+      (** the optimization budget ran out: the CSE plan may be the phase-1
+          shape, materializing a shared group once per distinct property
+          requirement (the Figure 8(a) baseline) *)
   phase1_plan : Sphys.Plan.t;
   memo : Smemo.Memo.t;  (** the CSE memo (with spools) *)
   shared : Spool.shared list;
@@ -25,6 +29,8 @@ type report = {
   rounds_naive : int;
   rounds_sequential : int;
   history_sizes : (int * int) list;  (** shared group -> #property sets *)
+  candidate_props : (int * Sphys.Reqprops.t list) list;
+      (** shared group -> phase-2 candidate property sets, in round order *)
   shared_info : Shared_info.t;
 }
 

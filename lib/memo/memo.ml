@@ -8,6 +8,16 @@ open Relalg
 
 type mexpr = { mop : Slogical.Logop.t; children : int list }
 
+(* A memoized winner keeps the structured requirement it was optimized
+   under (not just the canonical key) so the analysis layer can re-verify
+   delivered-vs-required properties and recompute costs after the fact. *)
+type winner = {
+  wphase : int;
+  wreq : Sphys.Reqprops.t;
+  wenforce : (int * Sphys.Reqprops.t) list;
+  wplan : Sphys.Plan.t option; (* [None] = proven infeasible *)
+}
+
 type group = {
   id : int;
   mutable exprs : mexpr list;
@@ -17,9 +27,8 @@ type group = {
   mutable explored_phase : int;
   (* set by Algorithm 1 on spool groups that root a shared subexpression *)
   mutable shared : bool;
-  (* winner table: canonical extended-required-property key -> best plan
-     ([None] = proven infeasible under that requirement) *)
-  winners : (string, Sphys.Plan.t option) Hashtbl.t;
+  (* winner table: canonical (phase x extended-required-property) key *)
+  winners : (string, winner) Hashtbl.t;
 }
 
 type t = {
@@ -141,6 +150,10 @@ let redirect t ~from_ ~to_ ~except =
               })
             g.exprs);
   if t.root = from_ then t.root <- to_
+
+(* Winners of a group, in no particular order. *)
+let winners_of (g : group) =
+  Hashtbl.fold (fun _ w acc -> w :: acc) g.winners []
 
 (* Number of logical expressions across all groups. *)
 let expr_count t =

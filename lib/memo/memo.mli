@@ -6,6 +6,15 @@
 
 type mexpr = { mop : Slogical.Logop.t; children : int list }
 
+(** A memoized winner with the structured requirement it was optimized
+    under, kept so the analysis layer can re-verify it after the fact. *)
+type winner = {
+  wphase : int;
+  wreq : Sphys.Reqprops.t;
+  wenforce : (int * Sphys.Reqprops.t) list;
+  wplan : Sphys.Plan.t option;  (** [None] = proven infeasible *)
+}
+
 type group = {
   id : int;
   mutable exprs : mexpr list;
@@ -15,8 +24,8 @@ type group = {
       (** highest phase whose exploration rules ran on this group *)
   mutable shared : bool;
       (** set by Algorithm 1 on spool groups rooting a shared subexpression *)
-  winners : (string, Sphys.Plan.t option) Hashtbl.t;
-      (** best plan per extended-requirement key; [None] = infeasible *)
+  winners : (string, winner) Hashtbl.t;
+      (** best plan per (phase × extended-requirement) key *)
 }
 
 type t = {
@@ -60,6 +69,9 @@ val parents : t -> int list array
 (** Redirect every reference to [from_] so it points to [to_]; the group
     [except] (typically the new spool) keeps its reference. *)
 val redirect : t -> from_:int -> to_:int -> except:int -> unit
+
+(** Recorded winners of a group, in no particular order. *)
+val winners_of : group -> winner list
 
 (** Total number of logical expressions. *)
 val expr_count : t -> int

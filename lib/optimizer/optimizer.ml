@@ -83,7 +83,7 @@ let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
   let extreq = Extreq.normalize extreq in
   let key = winner_key t extreq in
   match Hashtbl.find_opt g.Smemo.Memo.winners key with
-  | Some w -> w
+  | Some w -> w.Smemo.Memo.wplan
   | None ->
       Budget.tick t.budget;
       t.ext.before_optimize t g extreq;
@@ -95,7 +95,13 @@ let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
         | Some r -> r
         | None -> log_phys_opt t g extreq
       in
-      Hashtbl.replace g.Smemo.Memo.winners key result;
+      Hashtbl.replace g.Smemo.Memo.winners key
+        {
+          Smemo.Memo.wphase = t.phase;
+          wreq = extreq.Extreq.req;
+          wenforce = extreq.Extreq.enforce;
+          wplan = result;
+        };
       t.ext.after_winner t g extreq result;
       result
 

@@ -17,9 +17,15 @@ let assert_valid_plan name plan =
       Alcotest.failf "%s: invalid plan:\n%s" name
         (Sphys.Plan_check.violations_to_string errs)
 
-(* Run the full pipeline on a script with the default catalog. *)
-let pipeline ?config ?budget ?(catalog = default_catalog ()) script =
-  Cse.Pipeline.run ?config ?budget ~catalog script
+(* Run the full pipeline on a script with the default catalog.  Tests run
+   the full static-analysis audit on every optimized plan (the
+   Cse.Config.audit knob); pass a config with [audit = false] to skip. *)
+let pipeline ?(config = { Cse.Config.default with Cse.Config.audit = true })
+    ?budget ?(catalog = default_catalog ()) script =
+  let r = Cse.Pipeline.run ~config ?budget ~catalog script in
+  if config.Cse.Config.audit then
+    Sanalysis.Audit.assert_clean ~cluster:Scost.Cluster.default ~catalog r;
+  r
 
 (* Operator multiset of a plan, as short names. *)
 let op_names plan =
