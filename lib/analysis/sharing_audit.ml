@@ -39,10 +39,8 @@ let flag_diags (memo : Smemo.Memo.t) =
         let is_spool (e : Smemo.Memo.mexpr) =
           match e.Smemo.Memo.mop with Slogical.Logop.Spool -> true | _ -> false
         in
-        if
-          g.Smemo.Memo.exprs = []
-          || not (List.for_all is_spool g.Smemo.Memo.exprs)
-        then
+        let es = Smemo.Memo.exprs g in
+        if es = [] || not (List.for_all is_spool es) then
           diags :=
             Diag.make ~code:"SA010" ~loc
               (Printf.sprintf "shared group holds [%s]"
@@ -50,7 +48,7 @@ let flag_diags (memo : Smemo.Memo.t) =
                     (List.map
                        (fun (e : Smemo.Memo.mexpr) ->
                          Slogical.Logop.short_name e.Smemo.Memo.mop)
-                       g.Smemo.Memo.exprs)))
+                       es)))
             :: !diags;
         let consumers = List.length parents.(g.Smemo.Memo.id) in
         if consumers < 2 then

@@ -80,8 +80,9 @@ let identify ?(config = Config.default) (memo : Smemo.Memo.t) : shared list =
   for gid = 0 to original_count - 1 do
     let g = Smemo.Memo.group memo gid in
     let n = List.length parents.(gid) in
-    if n > 1 && g.Smemo.Memo.exprs <> [] then begin
-      match (List.hd g.Smemo.Memo.exprs).Smemo.Memo.mop with
+    let es = Smemo.Memo.exprs g in
+    if n > 1 && es <> [] then begin
+      match (List.hd es).Smemo.Memo.mop with
       | Slogical.Logop.Spool -> g.Smemo.Memo.shared <- true
       | _ -> shared := insert_spool memo gid ~consumers:n :: !shared
     end

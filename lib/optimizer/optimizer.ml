@@ -129,7 +129,7 @@ and log_phys_opt t (g : Smemo.Memo.group) (extreq : Extreq.t) : Plan.t option
               if valid_candidate req node then Some node else None
             else None)
           (Impl.alternatives e req))
-      g.Smemo.Memo.exprs
+      (Smemo.Memo.exprs g)
   in
   let enforcer_candidates =
     List.filter_map

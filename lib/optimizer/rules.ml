@@ -20,7 +20,7 @@ let explore (memo : Smemo.Memo.t) (g : Smemo.Memo.group) ~phase =
   if g.Smemo.Memo.explored_phase >= phase then ()
   else begin
     g.Smemo.Memo.explored_phase <- phase;
-    let originals = g.Smemo.Memo.exprs in
+    let originals = Smemo.Memo.exprs g in
     List.iter
       (fun (e : Smemo.Memo.mexpr) ->
         match e.Smemo.Memo.mop with
@@ -31,7 +31,7 @@ let explore (memo : Smemo.Memo.t) (g : Smemo.Memo.group) ~phase =
                       match e'.Smemo.Memo.mop with
                       | Slogical.Logop.Group_by_global _ -> true
                       | _ -> false)
-                    g.Smemo.Memo.exprs) ->
+                    (Smemo.Memo.exprs g)) ->
             let child = List.hd e.Smemo.Memo.children in
             let child_schema = (Smemo.Memo.group memo child).Smemo.Memo.schema in
             let local_op = Slogical.Logop.Group_by_local { keys; aggs } in
@@ -44,7 +44,7 @@ let explore (memo : Smemo.Memo.t) (g : Smemo.Memo.group) ~phase =
                 local_schema
             in
             let global_aggs = List.map Agg.global_combinator aggs in
-            Smemo.Memo.add_expr g
+            Smemo.Memo.add_expr memo g
               {
                 Smemo.Memo.mop =
                   Slogical.Logop.Group_by_global { keys; aggs = global_aggs };

@@ -5,7 +5,7 @@ let test_of_dag_s1 () =
   Alcotest.(check int) "7 groups" 7 (Smemo.Memo.size memo);
   Alcotest.(check int) "7 expressions" 7 (Smemo.Memo.expr_count memo);
   let root = Smemo.Memo.root_group memo in
-  match (List.hd root.Smemo.Memo.exprs).Smemo.Memo.mop with
+  match (List.hd (Smemo.Memo.exprs root)).Smemo.Memo.mop with
   | Slogical.Logop.Sequence -> ()
   | _ -> Alcotest.fail "root is the sequence"
 
@@ -43,32 +43,120 @@ let test_reachable () =
 let test_add_expr_dedup () =
   let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
   let g = Smemo.Memo.group memo 1 in
-  let e = List.hd g.Smemo.Memo.exprs in
-  Smemo.Memo.add_expr g e;
+  let e = List.hd (Smemo.Memo.exprs g) in
+  Smemo.Memo.add_expr memo g e;
   Alcotest.(check int) "duplicate expression ignored" 1
-    (List.length g.Smemo.Memo.exprs)
+    (List.length (Smemo.Memo.exprs g))
 
 let test_exploration_adds_two_stage () =
   let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
   let g = Smemo.Memo.group memo 1 in
   Sopt.Rules.explore memo g ~phase:1;
   Alcotest.(check int) "global/local expression added" 2
-    (List.length g.Smemo.Memo.exprs);
+    (List.length (Smemo.Memo.exprs g));
   (* idempotent per phase *)
   Sopt.Rules.explore memo g ~phase:1;
-  Alcotest.(check int) "idempotent" 2 (List.length g.Smemo.Memo.exprs);
+  Alcotest.(check int) "idempotent" 2 (List.length (Smemo.Memo.exprs g));
   (* re-exploring in phase 2 must not duplicate the rewrite *)
   let before = Smemo.Memo.size memo in
   g.Smemo.Memo.explored_phase <- 1;
   Sopt.Rules.explore memo g ~phase:2;
   Alcotest.(check int) "no new group in phase 2" before (Smemo.Memo.size memo);
-  Alcotest.(check int) "no new expr in phase 2" 2 (List.length g.Smemo.Memo.exprs)
+  Alcotest.(check int) "no new expr in phase 2" 2
+    (List.length (Smemo.Memo.exprs g))
 
 let test_group_children () =
   let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
   let root = Smemo.Memo.root_group memo in
   Alcotest.(check (list int)) "sequence children" [ 3; 5 ]
     (Smemo.Memo.group_children root)
+
+(* Regression for the quadratic add_expr (structural List.mem scan plus
+   [exprs @ [e]] append): a wide exploration adding thousands of distinct
+   expressions must stay fast, preserve insertion order, and dedup every
+   re-insertion. *)
+let test_add_expr_wide () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s1 in
+  let g = Smemo.Memo.group memo 1 in
+  let base = List.hd (Smemo.Memo.exprs g) in
+  let n = 5000 in
+  let started = Unix.gettimeofday () in
+  for i = 1 to n do
+    (* distinct expressions: vary the children list *)
+    Smemo.Memo.add_expr memo g { base with Smemo.Memo.children = [ 0; i ] }
+  done;
+  (* re-adding every one of them is a no-op *)
+  for i = 1 to n do
+    Smemo.Memo.add_expr memo g { base with Smemo.Memo.children = [ 0; i ] }
+  done;
+  let elapsed = Unix.gettimeofday () -. started in
+  let es = Smemo.Memo.exprs g in
+  Alcotest.(check int) "all distinct expressions kept" (n + 1)
+    (List.length es);
+  Alcotest.(check bool) "insertion order preserved" true
+    (List.hd es = base
+    && List.nth es 1 = { base with Smemo.Memo.children = [ 0; 1 ] }
+    && List.nth es n = { base with Smemo.Memo.children = [ 0; n ] });
+  (* the old quadratic implementation needs tens of seconds here; the
+     hashtable-backed one is effectively instant.  A generous bound keeps
+     the assertion robust on slow CI machines. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "wide exploration fast enough (%.3fs)" elapsed)
+    true (elapsed < 5.0)
+
+(* Brute-force reference for the incrementally-maintained referrer tables:
+   recompute parents/reachable from scratch by scanning every group's
+   expressions, and compare after a mutation sequence. *)
+let brute_parents (memo : Smemo.Memo.t) =
+  let live = Array.make (Smemo.Memo.size memo) false in
+  let rec visit id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      List.iter visit (Smemo.Memo.group_children (Smemo.Memo.group memo id))
+    end
+  in
+  visit memo.Smemo.Memo.root;
+  let ps = Array.make (Smemo.Memo.size memo) [] in
+  Smemo.Memo.iter_groups memo (fun g ->
+      if live.(g.Smemo.Memo.id) then
+        List.iter
+          (fun c ->
+            if not (List.mem g.Smemo.Memo.id ps.(c)) then
+              ps.(c) <- g.Smemo.Memo.id :: ps.(c))
+          (Smemo.Memo.group_children g));
+  (live, Array.map (List.sort_uniq Int.compare) ps)
+
+let check_incremental_consistency memo label =
+  let live_ref, parents_ref = brute_parents memo in
+  let live = Smemo.Memo.reachable memo in
+  let parents = Smemo.Memo.parents memo in
+  Alcotest.(check (array bool)) (label ^ ": reachable") live_ref live;
+  Alcotest.(check (array (list int))) (label ^ ": parents") parents_ref parents
+
+let test_incremental_maintenance () =
+  let memo = Thelpers.memo_of Sworkload.Paper_scripts.s3 in
+  check_incremental_consistency memo "fresh memo";
+  (* run the full CSE identification (merges + spool insertion) *)
+  let _shared = Cse.Spool.identify memo in
+  check_incremental_consistency memo "after identify";
+  (* exploration adds groups and expressions *)
+  Smemo.Memo.iter_groups memo (fun g -> Sopt.Rules.explore memo g ~phase:1);
+  check_incremental_consistency memo "after exploration";
+  (* a manual redirect through a fresh spool *)
+  let target = List.hd (Smemo.Memo.group_children (Smemo.Memo.root_group memo)) in
+  let tg = Smemo.Memo.group memo target in
+  let spool =
+    Smemo.Memo.add_group memo
+      { Smemo.Memo.mop = Slogical.Logop.Spool; children = [ target ] }
+      tg.Smemo.Memo.schema
+  in
+  Smemo.Memo.redirect memo ~from_:target ~to_:spool.Smemo.Memo.id
+    ~except:spool.Smemo.Memo.id;
+  check_incremental_consistency memo "after manual redirect";
+  (* wholesale replacement keeps the tables consistent too *)
+  let root = Smemo.Memo.root_group memo in
+  Smemo.Memo.set_exprs memo root (Smemo.Memo.exprs root);
+  check_incremental_consistency memo "after set_exprs"
 
 let () =
   Alcotest.run "memo"
@@ -80,6 +168,10 @@ let () =
           Alcotest.test_case "redirect" `Quick test_redirect;
           Alcotest.test_case "reachable" `Quick test_reachable;
           Alcotest.test_case "add_expr dedup" `Quick test_add_expr_dedup;
+          Alcotest.test_case "add_expr wide exploration" `Quick
+            test_add_expr_wide;
+          Alcotest.test_case "incremental referrers" `Quick
+            test_incremental_maintenance;
           Alcotest.test_case "group children" `Quick test_group_children;
         ] );
       ( "exploration",
