@@ -43,6 +43,7 @@ let catalog =
     ("SA031", Error, "plan node cost is not op_cost plus children's costs");
     ("SA032", Error, "operator cost is negative or not finite");
     ("SA033", Warning, "spool node carries no memo group id");
+    ("SA034", Error, "cached region cost summary does not reproduce");
   ]
 
 let default_severity code =

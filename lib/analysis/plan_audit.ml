@@ -42,12 +42,60 @@ let run (plan : Plan.t) : Diag.t list =
           (Diag.make ~code:"SA031" ~loc
              (Printf.sprintf "records cost %.6g, op_cost + children = %.6g"
                 n.Plan.cost additive));
-      match n.Plan.op with
+      (match n.Plan.op with
       | Physop.P_spool when n.Plan.group < 0 ->
           emit
             (Diag.make ~code:"SA033" ~loc
                "spool without a memo group id cannot be deduplicated")
-      | _ -> ()
+      | _ -> ());
+      (* the cached region summary (the deduplicated-costing fast path)
+         must reproduce from the children's summaries *)
+      let expected_sbase =
+        List.fold_left
+          (fun acc c -> acc +. fst (Plan.region c))
+          n.Plan.op_cost n.Plan.children
+      in
+      if Float.abs (expected_sbase -. n.Plan.sbase)
+         > 1e-6 *. Float.max 1.0 (Float.abs n.Plan.sbase)
+      then
+        emit
+          (Diag.make ~code:"SA034" ~loc
+             (Printf.sprintf
+                "records region cost %.6g, children's regions sum to %.6g"
+                n.Plan.sbase expected_sbase));
+      let expected_srefs =
+        List.fold_left
+          (fun acc c ->
+            List.fold_left
+              (fun acc (s, k) ->
+                let rec add = function
+                  | [] -> [ (s, k) ]
+                  | (s', k') :: rest when s' == s -> (s', k' + k) :: rest
+                  | p :: rest -> p :: add rest
+                in
+                add acc)
+              acc
+              (snd (Plan.region c)))
+          [] n.Plan.children
+      in
+      let count refs s =
+        List.fold_left
+          (fun acc (s', k) -> if s' == s then acc + k else acc)
+          0 refs
+      in
+      if
+        List.length expected_srefs <> List.length n.Plan.srefs
+        || List.exists
+             (fun (s, k) -> count n.Plan.srefs s <> k)
+             expected_srefs
+      then
+        emit
+          (Diag.make ~code:"SA034" ~loc
+             (Printf.sprintf
+                "records %d region spool reference(s), children's regions \
+                 yield %d"
+                (List.length n.Plan.srefs)
+                (List.length expected_srefs)))
     end
   in
   go plan;

@@ -159,7 +159,10 @@ let run_rounds state (t : Optimizer.t) (g : Smemo.Memo.group)
           in
           match log_phys_opt g ext' with
           | Some p ->
-              let cost = Optimizer.plan_cost t p in
+              (* feedback steering the sequential enumeration: use the
+                 walking cost so the last-ulp noise of the cached closure
+                 cannot flip which assignment a class keeps as its best *)
+              let cost = Scost.Dagcost.cost t.Optimizer.cluster p in
               Log.debug (fun m ->
                   m "round %d at LCA %d: {%s} -> cost %.6g"
                     (Rounds.generated gen) g.Smemo.Memo.id
@@ -256,8 +259,7 @@ let optimize ?(config = Config.default) ?budget ~cluster
         state.rounds_executed state.lca_sites);
   let best =
     match (p1, p2) with
-    | Some a, Some b ->
-        Some (if Optimizer.plan_cost t b <= Optimizer.plan_cost t a then b else a)
+    | Some a, Some b -> Some (if Optimizer.plan_le t b a then b else a)
     | Some a, None -> Some a
     | None, b -> b
   in

@@ -38,6 +38,51 @@ let cost (cluster : Cluster.t) (plan : Plan.t) : float =
   in
   go plan
 
+(* Same accounting served from the region summaries cached at plan
+   construction ([Plan.sbase]/[Plan.srefs]): pay the root's region, then
+   close over the spool references -- every reference pays a read, every
+   first reference of a distinct spool value additionally pays its inner
+   production region and exposes that region's own spool references.
+   O(#spool references) per call instead of a full DAG walk, which is what
+   the optimizer's candidate comparisons use.  Agrees with [cost] up to
+   float summation order (bit-for-bit on spool-free plans); the SA034
+   plan lint and the property tests check the two against each other. *)
+let cached_cost (cluster : Cluster.t) (plan : Plan.t) : float =
+  match plan.Plan.srefs with
+  | [] when plan.Plan.op <> Physop.P_spool -> plan.Plan.sbase
+  | _ ->
+      let produced : (int, Plan.t list) Hashtbl.t = Hashtbl.create 8 in
+      let already_produced (n : Plan.t) =
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt produced n.Plan.group)
+        in
+        if List.exists (fun p -> p == n) prev then true
+        else begin
+          Hashtbl.replace produced n.Plan.group (n :: prev);
+          false
+        end
+      in
+      let total = ref 0.0 in
+      let pending = Queue.create () in
+      let reference r = Queue.add r pending in
+      (match plan.Plan.op with
+      | Physop.P_spool -> reference (plan, 1)
+      | _ ->
+          total := plan.Plan.sbase;
+          List.iter reference plan.Plan.srefs);
+      while not (Queue.is_empty pending) do
+        let s, k = Queue.pop pending in
+        let read = Costmodel.spool_read_cost cluster s in
+        for _ = 1 to k do
+          total := !total +. read
+        done;
+        if not (already_produced s) then begin
+          total := !total +. s.Plan.sbase;
+          List.iter reference s.Plan.srefs
+        end
+      done;
+      !total
+
 (* Number of distinct spool materializations and total spool references. *)
 let spool_counts (plan : Plan.t) =
   let seen : (int, Plan.t list) Hashtbl.t = Hashtbl.create 8 in

@@ -61,15 +61,39 @@ let mk_plan t (g : Smemo.Memo.group) op children =
   Plan.make ~op ~children ~group:g.Smemo.Memo.id ~schema:g.Smemo.Memo.schema
     ~stats ~op_cost
 
-let plan_cost t p = Scost.Dagcost.cost t.cluster p
+let plan_cost t p = Scost.Dagcost.cached_cost t.cluster p
 
+(* On spool-free plans the cached region cost is bit-for-bit the walking
+   cost; only spool-bearing plans can disagree in the last ulps because
+   the closure sums in a different order. *)
+let exactly_walked (p : Plan.t) =
+  p.Plan.srefs = [] && p.Plan.op <> Physop.P_spool
+
+(* Is [p] strictly cheaper than [q]?  Far-apart costs are decided on the
+   cached values; near-ties between spool-bearing plans (within 1e-9
+   relative, ulp-noise territory for either summation order) are decided
+   on the walking cost, so plan choices are identical to walking-cost
+   comparison. *)
+let cost_lt t ((p : Plan.t), c) ((q : Plan.t), qc) =
+  let scale = Float.max 1.0 (Float.max (Float.abs c) (Float.abs qc)) in
+  if Float.abs (c -. qc) > 1e-9 *. scale then c < qc
+  else if exactly_walked p && exactly_walked q then c < qc
+  else Scost.Dagcost.cost t.cluster p < Scost.Dagcost.cost t.cluster q
+
+(* [p] no costlier than [q], under the same near-tie rules. *)
+let plan_le t p q = not (cost_lt t (q, plan_cost t q) (p, plan_cost t p))
+
+(* Each candidate is costed exactly once: the fold carries the running
+   best as a (plan, cost) pair instead of re-costing it per comparison. *)
 let cheapest t plans =
   List.fold_left
     (fun best p ->
+      let c = plan_cost t p in
       match best with
-      | None -> Some p
-      | Some b -> if plan_cost t p < plan_cost t b then Some p else best)
+      | None -> Some (p, c)
+      | Some pc -> if cost_lt t (p, c) pc then Some (p, c) else best)
     None plans
+  |> Option.map fst
 
 (* A candidate is kept only if the operator's own input requirements hold
    against the children actually delivered (enforcement may have overridden

@@ -46,10 +46,20 @@ val create :
 val mk_plan :
   t -> Smemo.Memo.group -> Sphys.Physop.t -> Sphys.Plan.t list -> Sphys.Plan.t
 
-(** DAG-deduplicated cost used for every plan comparison. *)
+(** DAG-deduplicated cost used for every plan comparison, served from the
+    region summaries cached at plan construction
+    ({!Scost.Dagcost.cached_cost}). *)
 val plan_cost : t -> Sphys.Plan.t -> float
 
-(** Cheapest of a candidate list by {!plan_cost}. *)
+(** [plan_le t p q]: is [p] no costlier than [q]? Far-apart costs are
+    decided on the cached values; near-ties between spool-bearing plans
+    (ulp-noise territory for either summation order) fall back to the
+    walking {!Scost.Dagcost.cost}, so choices are identical to
+    walking-cost comparison. *)
+val plan_le : t -> Sphys.Plan.t -> Sphys.Plan.t -> bool
+
+(** Cheapest of a candidate list by {!plan_cost}, each candidate costed
+    once, with the {!plan_le} near-tie rules. *)
 val cheapest : t -> Sphys.Plan.t list -> Sphys.Plan.t option
 
 (** The candidate filter: the operator's own input requirements hold

@@ -4,7 +4,17 @@ open Relalg
    that DAG-aware costing can recognize two references to the same shared
    (spool) subplan.  [cost] is the conventional *tree-wise* total used
    during search; [Dagcost] in the cost library computes the final
-   deduplicated cost of CSE plans. *)
+   deduplicated cost of CSE plans.
+
+   [sbase]/[srefs] summarize the node's *region*: the sub-DAG reachable
+   without crossing a spool boundary.  [sbase] is the total operator cost
+   of the region (spool descendants contribute nothing); [srefs] lists the
+   distinct spool plans the region references (by physical identity) with
+   their reference counts.  A spool node's own summary describes its inner
+   production region -- the collapse to a single reference happens at the
+   consumer.  Cached at construction, these let [Dagcost] compute the
+   deduplicated cost by closing over O(#spools) region summaries instead
+   of re-walking the whole DAG on every plan comparison. *)
 
 type t = {
   op : Physop.t;
@@ -15,7 +25,28 @@ type t = {
   stats : Slogical.Stats.t; (* estimated output stats *)
   op_cost : float; (* this operator's own estimated cost *)
   cost : float; (* tree-wise total: op_cost + sum of child costs *)
+  sbase : float; (* region operator-cost total (spools excluded) *)
+  srefs : (t * int) list; (* spools referenced by the region, with counts *)
 }
+
+(* The region a child contributes to its parent: a spool child is a
+   boundary (one reference, no cost); any other child passes its own
+   region through. *)
+let region (c : t) =
+  match c.op with
+  | Physop.P_spool -> (0.0, [ (c, 1) ])
+  | _ -> (c.sbase, c.srefs)
+
+let add_refs acc refs =
+  List.fold_left
+    (fun acc (s, k) ->
+      let rec add = function
+        | [] -> [ (s, k) ]
+        | (s', k') :: rest when s' == s -> (s', k' + k) :: rest
+        | p :: rest -> p :: add rest
+      in
+      add acc)
+    acc refs
 
 let make ~op ~children ~group ~schema ~stats ~op_cost =
   let props =
@@ -24,7 +55,15 @@ let make ~op ~children ~group ~schema ~stats ~op_cost =
   let cost =
     List.fold_left (fun acc c -> acc +. c.cost) op_cost children
   in
-  { op; children; group; schema; props; stats; op_cost; cost }
+  (* identical fold order as the tree-wise [cost], so on a spool-free plan
+     [sbase] equals [cost] bit-for-bit *)
+  let sbase =
+    List.fold_left (fun acc c -> acc +. fst (region c)) op_cost children
+  in
+  let srefs =
+    List.fold_left (fun acc c -> add_refs acc (snd (region c))) [] children
+  in
+  { op; children; group; schema; props; stats; op_cost; cost; sbase; srefs }
 
 (* Fold over every node (parents after children); shared subtrees are
    visited once per reference. *)

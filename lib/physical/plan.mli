@@ -15,7 +15,19 @@ type t = {
   stats : Slogical.Stats.t;  (** estimated output statistics *)
   op_cost : float;  (** this operator's own estimated cost *)
   cost : float;  (** tree-wise total: [op_cost] + children's [cost] *)
+  sbase : float;
+      (** operator-cost total of the node's region — the sub-DAG reachable
+          without crossing a spool boundary; spool descendants contribute
+          nothing. Equals [cost] bit-for-bit on spool-free plans. *)
+  srefs : (t * int) list;
+      (** distinct spool plans referenced by the region (physical
+          identity), with reference counts, in first-reference order *)
 }
+
+(** The region summary a child contributes to its parent: a spool child is
+    a boundary ([(0.0, [(child, 1)])]); any other child passes its own
+    [sbase]/[srefs] through. *)
+val region : t -> float * (t * int) list
 
 (** Build a node, deriving [props] via {!Physop.deliver} and [cost]
     additively. *)

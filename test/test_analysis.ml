@@ -366,6 +366,18 @@ let test_sa033_anonymous_spool () =
   let s = spool_node r.Cse.Pipeline.cse_plan in
   assert_code "SA033" (Sanalysis.Plan_audit.run { s with Plan.group = -1 })
 
+(* SA034: cached region summaries that do not reproduce. *)
+let test_sa034_stale_region_cache () =
+  let _, _, r = raw_report Sworkload.Paper_scripts.s1 in
+  let conv = r.Cse.Pipeline.conventional_plan in
+  assert_code "SA034"
+    (Sanalysis.Plan_audit.run { conv with Plan.sbase = conv.Plan.sbase +. 1.0e6 });
+  let cse = r.Cse.Pipeline.cse_plan in
+  assert_code "SA034" (Sanalysis.Plan_audit.run { cse with Plan.srefs = [] });
+  (* uncorrupted plans are clean *)
+  assert_not_code "SA034" (Sanalysis.Plan_audit.run conv);
+  assert_not_code "SA034" (Sanalysis.Plan_audit.run cse)
+
 (* --- framework ----------------------------------------------------------- *)
 
 let test_diag_framework () =
@@ -434,5 +446,7 @@ let () =
           Alcotest.test_case "SA031 bad total" `Quick test_sa031_bad_total;
           Alcotest.test_case "SA032 negative cost" `Quick test_sa032_negative_cost;
           Alcotest.test_case "SA033 anonymous spool" `Quick test_sa033_anonymous_spool;
+          Alcotest.test_case "SA034 stale region cache" `Quick
+            test_sa034_stale_region_cache;
         ] );
     ]

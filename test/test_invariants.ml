@@ -223,6 +223,52 @@ let test_dot_export () =
   let nodes = count_sub "label=" dot and edges = count_sub " -> " dot in
   Alcotest.(check int) "dag edge count" nodes edges
 
+(* --- cached DAG costing ----------------------------------------------------- *)
+
+(* The region summaries cached at construction ([Plan.sbase]/[Plan.srefs])
+   must reproduce the walking deduplicated cost on every node of every
+   final plan -- bit-for-bit on spool-free subplans, and up to float
+   summation order (1e-9 relative) where spools reorder the sums. *)
+let assert_cached_cost_agrees ~cluster name plan =
+  let checked = ref 0 in
+  Plan.fold
+    (fun () (n : Plan.t) ->
+      incr checked;
+      let walked = Scost.Dagcost.cost cluster n in
+      let cached = Scost.Dagcost.cached_cost cluster n in
+      if n.Plan.srefs = [] && n.Plan.op <> Physop.P_spool then begin
+        if cached <> walked then
+          Alcotest.failf "%s: spool-free %s: cached %.17g, walked %.17g" name
+            (Physop.short_name n.Plan.op) cached walked
+      end
+      else if
+        Float.abs (cached -. walked)
+        > 1e-9 *. Float.max 1.0 (Float.abs walked)
+      then
+        Alcotest.failf "%s: %s: cached %.17g, walked %.17g" name
+          (Physop.short_name n.Plan.op) cached walked)
+    () plan;
+  Alcotest.(check bool) (name ^ ": visited nodes") true (!checked > 0)
+
+let test_cached_cost_builtins () =
+  let cluster = Scost.Cluster.with_machines 25 Scost.Cluster.default in
+  List.iter
+    (fun (name, script) ->
+      let r =
+        Cse.Pipeline.run ~cluster ~catalog:(Relalg.Catalog.default ()) script
+      in
+      assert_cached_cost_agrees ~cluster (name ^ " cse") r.Cse.Pipeline.cse_plan;
+      assert_cached_cost_agrees ~cluster (name ^ " conv")
+        r.Cse.Pipeline.conventional_plan)
+    (Sworkload.Paper_scripts.all
+    @ [ ("IND", Sworkload.Paper_scripts.independent_pair) ])
+
+let test_cached_cost_ls1 () =
+  let cluster = Scost.Cluster.default in
+  let r = ls_report Sworkload.Large_gen.ls1_spec in
+  assert_cached_cost_agrees ~cluster "LS1 cse" r.Cse.Pipeline.cse_plan;
+  assert_cached_cost_agrees ~cluster "LS1 conv" r.Cse.Pipeline.conventional_plan
+
 let test_consumer_sweep_monotone () =
   let reductions =
     List.map
@@ -259,6 +305,13 @@ let () =
         [
           Alcotest.test_case "skew parallelism" `Quick test_skew_model;
           Alcotest.test_case "dot export" `Quick test_dot_export;
+        ] );
+      ( "cached costing",
+        [
+          Alcotest.test_case "builtins: cached = walked on every node" `Quick
+            test_cached_cost_builtins;
+          Alcotest.test_case "LS1: cached = walked on every node" `Slow
+            test_cached_cost_ls1;
         ] );
       ( "large scripts",
         [
