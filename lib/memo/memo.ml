@@ -45,8 +45,9 @@ type group = {
   mutable explored_phase : int;
   (* set by Algorithm 1 on spool groups that root a shared subexpression *)
   mutable shared : bool;
-  (* winner table: canonical (phase x extended-required-property) key *)
-  winners : (string, winner) Hashtbl.t;
+  (* winner table, keyed by the interned (phase x extended-required-
+     property) id the optimizer computes (Sopt.Intern) *)
+  winners : (int, winner) Hashtbl.t;
 }
 
 type t = {

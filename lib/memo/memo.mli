@@ -38,8 +38,9 @@ type group = {
       (** highest phase whose exploration rules ran on this group *)
   mutable shared : bool;
       (** set by Algorithm 1 on spool groups rooting a shared subexpression *)
-  winners : (string, winner) Hashtbl.t;
-      (** best plan per (phase × extended-requirement) key *)
+  winners : (int, winner) Hashtbl.t;
+      (** best plan per interned (phase × extended-requirement) id
+          (see [Sopt.Intern]) *)
 }
 
 type t = {

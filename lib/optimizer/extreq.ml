@@ -13,19 +13,6 @@ let normalize t =
 
 let enforcement t gid = List.assoc_opt gid t.enforce
 
-(* Canonical winner-table key.  The enforcement list is part of the key so
-   that re-optimization rounds with different property assignments never
-   reuse each other's winners. *)
-let key t =
-  let t = normalize t in
-  let enf =
-    String.concat ";"
-      (List.map
-         (fun (g, p) -> string_of_int g ^ ":" ^ Reqprops.to_key p)
-         t.enforce)
-  in
-  Reqprops.to_key t.req ^ "||" ^ enf
-
 let with_req t req = { t with req }
 
 let pp ppf t =

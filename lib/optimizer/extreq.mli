@@ -13,10 +13,6 @@ val normalize : t -> t
 (** The property set enforced at a group, if any. *)
 val enforcement : t -> int -> Sphys.Reqprops.t option
 
-(** Canonical winner-table key; includes the enforcement map so rounds with
-    different assignments never reuse each other's winners. *)
-val key : t -> string
-
 (** Same enforcement map, different conventional requirement. *)
 val with_req : t -> Sphys.Reqprops.t -> t
 

@@ -52,7 +52,10 @@ let create ?(ext = default_ext) ?(budget = Budget.unlimited ())
     ~(cluster : Scost.Cluster.t) (memo : Smemo.Memo.t) =
   { memo; cluster; budget; phase = 1; ext }
 
-let winner_key t extreq = Printf.sprintf "%d#%s" t.phase (Extreq.key extreq)
+(* Winner-table key: the interned requirement id packed with the phase
+   (1 or 2).  [extreq] must already be normalized -- [optimize_group]
+   normalizes once at entry. *)
+let winner_key t extreq = (Intern.id extreq lsl 2) lor t.phase
 
 (* Build a plan node for [op] over [children] in group [g]. *)
 let mk_plan t (g : Smemo.Memo.group) op children =

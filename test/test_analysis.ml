@@ -151,7 +151,7 @@ let test_sa006_contradicted_infeasible () =
   let memo = r.Cse.Pipeline.memo in
   let root = Smemo.Memo.root_group memo in
   let _, w, _ = some_winner root in
-  Hashtbl.replace root.Smemo.Memo.winners "__bogus"
+  Hashtbl.replace root.Smemo.Memo.winners (-1)
     {
       Smemo.Memo.wphase = w.Smemo.Memo.wphase;
       wreq = Reqprops.none;

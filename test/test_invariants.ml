@@ -269,6 +269,92 @@ let test_cached_cost_ls1 () =
   assert_cached_cost_agrees ~cluster "LS1 cse" r.Cse.Pipeline.cse_plan;
   assert_cached_cost_agrees ~cluster "LS1 conv" r.Cse.Pipeline.conventional_plan
 
+(* --- requirement interning ------------------------------------------------- *)
+
+(* A spread of distinct normalized extended requirements: every
+   partitioning shape, several sort orders, and enforcement maps over a
+   couple of group ids. *)
+let distinct_extreqs () =
+  let cs = Thelpers.colset in
+  let parts =
+    [
+      Reqprops.Any;
+      Reqprops.Serial_req;
+      Reqprops.Hash_subset (cs [ "A" ]);
+      Reqprops.Hash_subset (cs [ "A"; "B" ]);
+      Reqprops.Hash_exact (cs [ "A" ]);
+      Reqprops.Hash_exact (cs [ "B"; "C" ]);
+    ]
+  in
+  let sorts =
+    [
+      [];
+      [ ("A", Sortorder.Asc) ];
+      [ ("A", Sortorder.Desc) ];
+      [ ("B", Sortorder.Asc); ("C", Sortorder.Asc) ];
+    ]
+  in
+  let reqs =
+    List.concat_map
+      (fun p -> List.map (fun s -> Reqprops.make p s) sorts)
+      parts
+  in
+  let enforces =
+    [
+      [];
+      [ (3, Reqprops.make (Reqprops.Hash_exact (cs [ "A" ])) []) ];
+      [
+        (3, Reqprops.make (Reqprops.Hash_exact (cs [ "A" ])) []);
+        (7, Reqprops.make Reqprops.Serial_req [ ("A", Sortorder.Asc) ]);
+      ];
+    ]
+  in
+  List.concat_map
+    (fun req ->
+      List.map
+        (fun enforce -> Sopt.Extreq.normalize { Sopt.Extreq.req; enforce })
+        enforces)
+    reqs
+
+(* Interning is injective on distinct normalized requirements, stable on
+   re-interning (including structurally-equal rebuilt values), and the
+   reverse lookup round-trips. *)
+let test_intern_ids () =
+  let reqs = distinct_extreqs () in
+  let ids = List.map Sopt.Intern.id reqs in
+  Alcotest.(check int)
+    "distinct requirements get distinct ids" (List.length reqs)
+    (List.length (List.sort_uniq Int.compare ids));
+  (* rebuilt structurally-equal values (fresh allocations) hit the same
+     ids, in any order *)
+  let again = List.map Sopt.Intern.id (List.rev (distinct_extreqs ())) in
+  Alcotest.(check (list int)) "equal requirements share their id"
+    (List.rev ids) again;
+  List.iter2
+    (fun r i ->
+      match Sopt.Intern.lookup i with
+      | Some r' ->
+          Alcotest.(check bool) "lookup round-trips" true (r = r')
+      | None -> Alcotest.fail "interned id has no reverse mapping")
+    reqs ids;
+  Alcotest.(check bool) "table covers the interned ids" true
+    (Sopt.Intern.size () >= List.length reqs)
+
+(* An un-enforced and an enforced variant of the same conventional
+   requirement must never share an id (rounds with different assignments
+   must not reuse each other's winners). *)
+let test_intern_enforcement_distinct () =
+  let pinned =
+    Reqprops.make (Reqprops.Hash_exact (Thelpers.colset [ "A" ])) []
+  in
+  let plain = Sopt.Extreq.plain Reqprops.none in
+  let enforced =
+    Sopt.Extreq.normalize
+      { Sopt.Extreq.req = Reqprops.none; enforce = [ (3, pinned) ] }
+  in
+  Alcotest.(check bool) "enforcement map is part of the identity" true
+    (Sopt.Intern.id plain <> Sopt.Intern.id enforced)
+
 let test_consumer_sweep_monotone () =
   let reductions =
     List.map
@@ -312,6 +398,13 @@ let () =
             test_cached_cost_builtins;
           Alcotest.test_case "LS1: cached = walked on every node" `Slow
             test_cached_cost_ls1;
+        ] );
+      ( "interning",
+        [
+          Alcotest.test_case "distinct ids, stable re-intern" `Quick
+            test_intern_ids;
+          Alcotest.test_case "enforcement maps keep ids apart" `Quick
+            test_intern_enforcement_distinct;
         ] );
       ( "large scripts",
         [
