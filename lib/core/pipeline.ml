@@ -34,6 +34,8 @@ type report = {
   candidate_props : (int * Sphys.Reqprops.t list) list;
   (* shared group -> phase-2 candidate property sets, in round order *)
   shared_info : Shared_info.t;
+  counters : (string * int) list;
+  (* hot-path counter deltas over this run (Sutil.Counters), by name *)
 }
 
 (* Narrative of the four optimization steps (Figure 2 of the paper), for
@@ -66,7 +68,11 @@ let pp_steps ppf (r : report) =
     r.rounds_executed r.rounds_naive r.rounds_sequential;
   Fmt.pf ppf "result: estimated cost %.5g -> %.5g (%.1f%%)@."
     r.conventional_cost r.cse_cost
-    (100.0 *. r.cse_cost /. Float.max 1e-9 r.conventional_cost)
+    (100.0 *. r.cse_cost /. Float.max 1e-9 r.conventional_cost);
+  if r.counters <> [] then
+    Fmt.pf ppf "counters: %s@."
+      (String.concat "; "
+         (List.map (fun (n, v) -> Fmt.str "%s=%d" n v) r.counters))
 
 let ratio r = if r.conventional_cost = 0.0 then 1.0 else r.cse_cost /. r.conventional_cost
 
@@ -81,6 +87,7 @@ let timed f =
 
 let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     ~(catalog : Relalg.Catalog.t) (script : string) : report =
+  let counters_before = Sutil.Counters.snapshot () in
   let ast = Slang.Parser.parse_script script in
   let dag = Slogical.Binder.bind ~catalog ast in
   let machines = cluster.Scost.Cluster.machines in
@@ -160,4 +167,5 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     history_sizes;
     candidate_props;
     shared_info = si;
+    counters = Sutil.Counters.since counters_before;
   }

@@ -32,6 +32,9 @@ type report = {
   candidate_props : (int * Sphys.Reqprops.t list) list;
       (** shared group -> phase-2 candidate property sets, in round order *)
   shared_info : Shared_info.t;
+  counters : (string * int) list;
+      (** hot-path counter deltas over this run ([Sutil.Counters]): winner
+          hits/misses, optimizer tasks, intern hits/misses — by name *)
 }
 
 (** Narrative of the four optimization steps (Figure 2 of the paper). *)

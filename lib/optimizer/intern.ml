@@ -15,8 +15,8 @@
 
 let ids : (Extreq.t, int) Hashtbl.t = Hashtbl.create 256
 let back : (int, Extreq.t) Hashtbl.t = Hashtbl.create 256
-let hits = ref 0
-let misses = ref 0
+let hits = Sutil.Counters.counter "intern.hits"
+let misses = Sutil.Counters.counter "intern.misses"
 
 let id (extreq : Extreq.t) : int =
   match Hashtbl.find_opt ids extreq with

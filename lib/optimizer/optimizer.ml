@@ -57,6 +57,10 @@ let create ?(ext = default_ext) ?(budget = Budget.unlimited ())
    normalizes once at entry. *)
 let winner_key t extreq = (Intern.id extreq lsl 2) lor t.phase
 
+let winner_hits = Sutil.Counters.counter "optimizer.winner_hits"
+let winner_misses = Sutil.Counters.counter "optimizer.winner_misses"
+let ticks = Sutil.Counters.counter "optimizer.tasks"
+
 (* Build a plan node for [op] over [children] in group [g]. *)
 let mk_plan t (g : Smemo.Memo.group) op children =
   let stats = g.Smemo.Memo.stats in
@@ -110,8 +114,12 @@ let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
   let extreq = Extreq.normalize extreq in
   let key = winner_key t extreq in
   match Hashtbl.find_opt g.Smemo.Memo.winners key with
-  | Some w -> w.Smemo.Memo.wplan
+  | Some w ->
+      incr winner_hits;
+      w.Smemo.Memo.wplan
   | None ->
+      incr winner_misses;
+      incr ticks;
       Budget.tick t.budget;
       t.ext.before_optimize t g extreq;
       let result =

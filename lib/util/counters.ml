@@ -1,0 +1,34 @@
+(* Named monotonic counters for hot-path instrumentation.
+
+   A counter is registered once at module initialization and bumped
+   through its ref, so the per-event cost is one integer increment -- no
+   name lookup on the hot path.  The registry is global and append-only;
+   per-run figures come from diffing snapshots ([since]). *)
+
+let registry : (string, int ref) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add registry name r;
+      r
+
+let get name =
+  match Hashtbl.find_opt registry name with Some r -> !r | None -> 0
+
+let snapshot () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Counters that moved since [before] (a [snapshot] result), with their
+   deltas; counters registered after the snapshot count from zero. *)
+let since before =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = match List.assoc_opt name before with Some v0 -> v0 | None -> 0 in
+      if v > v0 then Some (name, v - v0) else None)
+    (snapshot ())
+
+let reset_all () = Hashtbl.iter (fun _ r -> r := 0) registry

@@ -1,0 +1,30 @@
+(** Named monotonic counters for hot-path instrumentation.
+
+    Register once at module initialization, bump through the ref:
+
+    {[
+      let hits = Sutil.Counters.counter "optimizer.winner_hits"
+      let f () = incr hits
+    ]}
+
+    The registry is global and append-only; per-run figures come from
+    diffing snapshots with {!since}. *)
+
+(** The ref behind a named counter, registering it at zero on first
+    sight.  Callers keep the ref so the per-event cost is one integer
+    increment. *)
+val counter : string -> int ref
+
+(** Current value of a named counter; 0 if never registered. *)
+val get : string -> int
+
+(** All counters with their current values, sorted by name. *)
+val snapshot : unit -> (string * int) list
+
+(** Counters that moved since [before] (a {!snapshot} result), with
+    their deltas.  Counters registered after the snapshot count from
+    zero. *)
+val since : (string * int) list -> (string * int) list
+
+(** Zero every registered counter (tests). *)
+val reset_all : unit -> unit

@@ -340,6 +340,27 @@ let test_intern_ids () =
   Alcotest.(check bool) "table covers the interned ids" true
     (Sopt.Intern.size () >= List.length reqs)
 
+(* The per-run counter deltas surfaced in the pipeline report: every
+   budget tick is mirrored in the optimizer.tasks counter, and winner /
+   intern lookups are counted. *)
+let test_report_counters () =
+  let r =
+    Cse.Pipeline.run
+      ~catalog:(Relalg.Catalog.default ())
+      Sworkload.Paper_scripts.s1
+  in
+  let get n =
+    Option.value ~default:0 (List.assoc_opt n r.Cse.Pipeline.counters)
+  in
+  Alcotest.(check int) "tasks counter mirrors the budget ticks"
+    (r.Cse.Pipeline.conventional_tasks + r.Cse.Pipeline.cse_tasks)
+    (get "optimizer.tasks");
+  Alcotest.(check bool) "winner hits counted" true
+    (get "optimizer.winner_hits" > 0);
+  Alcotest.(check bool) "winner misses mirror the tasks" true
+    (get "optimizer.winner_misses" = get "optimizer.tasks");
+  Alcotest.(check bool) "intern lookups counted" true (get "intern.hits" > 0)
+
 (* An un-enforced and an enforced variant of the same conventional
    requirement must never share an id (rounds with different assignments
    must not reuse each other's winners). *)
@@ -405,6 +426,8 @@ let () =
             test_intern_ids;
           Alcotest.test_case "enforcement maps keep ids apart" `Quick
             test_intern_enforcement_distinct;
+          Alcotest.test_case "report surfaces counter deltas" `Quick
+            test_report_counters;
         ] );
       ( "large scripts",
         [
