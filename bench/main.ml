@@ -409,7 +409,117 @@ let opt_time () =
       Fmt.pr "%-5s %15.4fs %15.4fs@." w.name conv cse)
     (workloads ())
 
+(* --- machine-readable baseline (BENCH_opt.json) -------------------------- *)
+
+(* One optimizer-perf record per workload: wall times (min of three
+   unbudgeted reps, so budget caps never saturate the numbers), task and
+   counter figures, memo size, peak heap, and the estimated costs pinning
+   plan quality alongside speed.  [--quick] keeps the small scripts only
+   (CI runs it on every push); the JSON is hand-rolled -- flat records of
+   numbers and names need no dependency. *)
+
+let json_workloads ~quick =
+  List.map prepare_small
+    (Sworkload.Paper_scripts.all
+    @ [ ("IND", Sworkload.Paper_scripts.independent_pair) ])
+  @
+  if quick then []
+  else
+    [
+      { (prepare_large Sworkload.Large_gen.ls1_spec 30.0) with budget_seconds = None };
+      { (prepare_large Sworkload.Large_gen.ls2_spec 60.0) with budget_seconds = None };
+    ]
+
+type opt_record = {
+  rname : string;
+  conv_time : float;
+  cse_time : float;
+  report : Cse.Pipeline.report;
+  top_heap_words : int;
+}
+
+(* Counters and memo figures come from the first rep (later reps re-use
+   the globally interned requirements, so their intern.misses would read
+   near zero); times are the min across reps. *)
+let bench_opt_record (w : prepared) =
+  let first = run_pipeline ~audit:false w in
+  let conv_time = ref first.Cse.Pipeline.conventional_time in
+  let cse_time = ref first.Cse.Pipeline.cse_time in
+  for _ = 2 to 3 do
+    let r = run_pipeline ~audit:false w in
+    conv_time := Float.min !conv_time r.Cse.Pipeline.conventional_time;
+    cse_time := Float.min !cse_time r.Cse.Pipeline.cse_time
+  done;
+  {
+    rname = w.name;
+    conv_time = !conv_time;
+    cse_time = !cse_time;
+    report = first;
+    top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+  }
+
+let json_of_record (o : opt_record) =
+  let r = o.report in
+  let counter n =
+    Option.value ~default:0 (List.assoc_opt n r.Cse.Pipeline.counters)
+  in
+  String.concat ""
+    [
+      Printf.sprintf "    {\"name\": %S,\n" o.rname;
+      Printf.sprintf "     \"conv_time_s\": %.6f, \"cse_time_s\": %.6f,\n"
+        o.conv_time o.cse_time;
+      Printf.sprintf "     \"conv_tasks\": %d, \"cse_tasks\": %d,\n"
+        r.Cse.Pipeline.conventional_tasks r.Cse.Pipeline.cse_tasks;
+      Printf.sprintf "     \"memo_groups\": %d, \"memo_exprs\": %d,\n"
+        (Smemo.Memo.size r.Cse.Pipeline.memo)
+        (Smemo.Memo.expr_count r.Cse.Pipeline.memo);
+      Printf.sprintf
+        "     \"winner_hits\": %d, \"winner_misses\": %d, \"intern_hits\": %d, \
+         \"intern_misses\": %d,\n"
+        (counter "optimizer.winner_hits")
+        (counter "optimizer.winner_misses")
+        (counter "intern.hits") (counter "intern.misses");
+      Printf.sprintf "     \"rounds_executed\": %d, \"top_heap_words\": %d,\n"
+        r.Cse.Pipeline.rounds_executed o.top_heap_words;
+      Printf.sprintf
+        "     \"conv_cost\": %.17g, \"cse_cost\": %.17g, \
+         \"reduction_percent\": %.2f}"
+        r.Cse.Pipeline.conventional_cost r.Cse.Pipeline.cse_cost
+        (Cse.Pipeline.reduction_percent r);
+    ]
+
+let bench_json ~quick path =
+  let records = List.map bench_opt_record (json_workloads ~quick) in
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"scopecse-bench-opt/1\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n  \"workloads\": [\n" quick;
+  output_string oc (String.concat ",\n" (List.map json_of_record records));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  List.iter
+    (fun o ->
+      Fmt.pr "%-5s conv %.4fs  cse %.4fs  (reduction %.1f%%)@." o.rname
+        o.conv_time o.cse_time
+        (Cse.Pipeline.reduction_percent o.report))
+    records;
+  Fmt.pr "wrote %s@." path
+
 let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  match argv with
+  | _ :: rest when List.mem "--json" rest ->
+      let path =
+        let rec after = function
+          | "--json" :: p :: _ when not (String.length p > 1 && p.[0] = '-') ->
+              Some p
+          | _ :: tl -> after tl
+          | [] -> None
+        in
+        Option.value ~default:"BENCH_opt.json" (after rest)
+      in
+      bench_json ~quick path
+  | _ ->
   let t0 = Unix.gettimeofday () in
   let reports = List.map (fun w -> (w, run_pipeline w)) (workloads ()) in
   fig6 reports;
