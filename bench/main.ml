@@ -368,6 +368,49 @@ let measured reports =
     reports;
   Fmt.pr "(results of every plan verified against the reference evaluator)@."
 
+(* --- fault injection and recovery ---------------------------------------- *)
+
+let faults reports =
+  section
+    "faults: deterministic fault injection and staged recovery (rate 0.3, 5 \
+     seeds)";
+  Fmt.pr "%-5s %7s %8s %11s %16s@." "name" "stages" "retries" "lost-parts"
+    "recomputed-rows";
+  List.iter
+    (fun (w, r) ->
+      if w.budget_seconds = None then begin
+        let base =
+          Sexec.Validate.check ~machines:25 w.catalog r.Cse.Pipeline.dag
+            r.Cse.Pipeline.cse_plan
+        in
+        let retries = ref 0 and lost = ref 0 and recomputed = ref 0 in
+        List.iter
+          (fun seed ->
+            let faults = Sexec.Faults.spec ~rate:0.3 seed in
+            let v =
+              Sexec.Validate.check ~faults ~machines:25 w.catalog
+                r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+            in
+            assert v.Sexec.Validate.ok;
+            assert
+              (Sexec.Validate.identical_outputs base.Sexec.Validate.outputs
+                 v.Sexec.Validate.outputs);
+            retries := !retries + v.Sexec.Validate.counters.Sexec.Engine.retries;
+            lost :=
+              !lost + v.Sexec.Validate.counters.Sexec.Engine.partitions_lost;
+            recomputed :=
+              !recomputed
+              + v.Sexec.Validate.counters.Sexec.Engine.recomputed_rows)
+          [ 1; 2; 3; 4; 5 ];
+        Fmt.pr "%-5s %7d %8d %11d %16d@." w.name
+          base.Sexec.Validate.counters.Sexec.Engine.stages_run !retries !lost
+          !recomputed
+      end)
+    reports;
+  Fmt.pr
+    "(every faulty run validated against the reference and byte-identical to \
+     the fault-free run)@."
+
 (* --- opt-time via bechamel ----------------------------------------------- *)
 
 let measure_seconds name f =
@@ -535,5 +578,6 @@ let () =
   sweep_machines ();
   sweep_depth ();
   measured reports;
+  faults reports;
   opt_time ();
   Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -86,6 +86,25 @@ let verbose_arg =
     & info [ "verbose"; "v" ]
         ~doc:"Log re-optimization rounds and phase summaries to stderr.")
 
+let inject_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "inject-faults" ] ~docv:"SEED"
+        ~doc:
+          "With $(b,run): execute a second time under deterministic fault \
+           injection seeded with $(docv), recover by recomputing lost \
+           stages, and require the outputs to be byte-identical to the \
+           fault-free run.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 0.15
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Per-stage-completion fault probability for --inject-faults, in \
+           [0, 1).")
+
 let audit_arg =
   Arg.(
     value & flag
@@ -158,8 +177,18 @@ let explain_cmd =
 
 (* --- optimize ---------------------------------------------------------- *)
 
+let exec_counters (c : Sexec.Engine.counters) =
+  [
+    ("exec.stages_run", c.Sexec.Engine.stages_run);
+    ("exec.vertices_run", c.Sexec.Engine.vertices_run);
+    ("exec.retries", c.Sexec.Engine.retries);
+    ("exec.recomputed_rows", c.Sexec.Engine.recomputed_rows);
+    ("exec.partitions_lost", c.Sexec.Engine.partitions_lost);
+    ("exec.machines_failed", c.Sexec.Engine.machines_failed);
+  ]
+
 let optimize run_exec =
-  let f machines budget no_ext verbose audit dot script =
+  let f machines budget no_ext verbose audit dot inject rate script =
     setup_logs verbose;
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
@@ -195,35 +224,79 @@ let optimize run_exec =
         write "conventional" r.Cse.Pipeline.conventional_plan;
         write "cse" r.Cse.Pipeline.cse_plan)
       dot;
-    if run_exec then begin
-      let v =
-        Sexec.Validate.check ~verify_props:true ~machines catalog
-          r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
-      in
-      Fmt.pr
-        "execution: results %s; %d rows shuffled, %d rows extracted, shared \
-         results materialized %d time(s), read %d time(s)@."
-        (if v.Sexec.Validate.ok then
-           "match the reference (delivered properties verified)"
-         else "MISMATCH")
-        v.Sexec.Validate.counters.Sexec.Engine.rows_shuffled
-        v.Sexec.Validate.counters.Sexec.Engine.rows_extracted
-        v.Sexec.Validate.counters.Sexec.Engine.spool_executions
-        v.Sexec.Validate.counters.Sexec.Engine.spool_reads;
-      List.iter (fun m -> Fmt.pr "  %s@." m) v.Sexec.Validate.mismatches
-    end;
-    if config.Cse.Config.audit then begin
-      let code = run_audit ~strict:false ~cluster ~catalog r in
-      if code <> 0 then Error (`Msg "audit found errors") else Ok ()
-    end
-    else Ok ()
+    let exec_result =
+      if not run_exec then Ok ()
+      else begin
+        let v =
+          Sexec.Validate.check ~verify_props:true ~machines catalog
+            r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+        in
+        Fmt.pr
+          "execution: results %s; %d rows shuffled, %d rows extracted, shared \
+           results materialized %d time(s), read %d time(s)@."
+          (if v.Sexec.Validate.ok then
+             "match the reference (delivered properties verified)"
+           else "MISMATCH")
+          v.Sexec.Validate.counters.Sexec.Engine.rows_shuffled
+          v.Sexec.Validate.counters.Sexec.Engine.rows_extracted
+          v.Sexec.Validate.counters.Sexec.Engine.spool_executions
+          v.Sexec.Validate.counters.Sexec.Engine.spool_reads;
+        Fmt.pr "staged: %d stage(s), %d vertex executions@."
+          v.Sexec.Validate.counters.Sexec.Engine.stages_run
+          v.Sexec.Validate.counters.Sexec.Engine.vertices_run;
+        List.iter (fun m -> Fmt.pr "  %s@." m) v.Sexec.Validate.mismatches;
+        let injected =
+          match inject with
+          | None -> Ok ()
+          | Some seed -> (
+              match Sexec.Faults.spec ~rate seed with
+              | exception Invalid_argument msg -> Error (`Msg msg)
+              | faults ->
+                  let vf =
+                    Sexec.Validate.check ~verify_props:true ~faults ~machines
+                      catalog r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+                  in
+                  let identical =
+                    Sexec.Validate.identical_outputs v.Sexec.Validate.outputs
+                      vf.Sexec.Validate.outputs
+                  in
+                  Fmt.pr
+                    "fault injection (seed %d, rate %.2f): outputs %s the \
+                     fault-free run%s@."
+                    seed rate
+                    (if identical then "byte-identical to" else "DIVERGE from")
+                    (if vf.Sexec.Validate.ok then ""
+                     else "; reference MISMATCH");
+                  Fmt.pr "%a" Cse.Pipeline.pp_counters
+                    (exec_counters vf.Sexec.Validate.counters);
+                  Fmt.pr "stage attempts: %s@."
+                    (String.concat ","
+                       (Array.to_list
+                          (Array.map string_of_int vf.Sexec.Validate.attempts)));
+                  List.iter (fun m -> Fmt.pr "  %s@." m)
+                    vf.Sexec.Validate.mismatches;
+                  if vf.Sexec.Validate.ok && identical then Ok ()
+                  else Error (`Msg "fault-injected execution diverged"))
+        in
+        if not v.Sexec.Validate.ok then Error (`Msg "execution mismatch")
+        else injected
+      end
+    in
+    match exec_result with
+    | Error _ as e -> e
+    | Ok () ->
+        if config.Cse.Config.audit then begin
+          let code = run_audit ~strict:false ~cluster ~catalog r in
+          if code <> 0 then Error (`Msg "audit found errors") else Ok ()
+        end
+        else Ok ()
   in
   Term.(
     term_result
-      (const (fun m b e v a d file builtin ->
-           Result.bind (read_script file builtin) (f m b e v a d))
+      (const (fun m b e v a d i p file builtin ->
+           Result.bind (read_script file builtin) (f m b e v a d i p))
       $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ audit_arg
-      $ dot_arg $ file_arg $ builtin_arg))
+      $ dot_arg $ inject_arg $ rate_arg $ file_arg $ builtin_arg))
 
 let optimize_cmd =
   Cmd.v

@@ -15,6 +15,12 @@ let report ~cluster ~catalog (r : Cse.Pipeline.report) =
   @ Plan_audit.run r.Cse.Pipeline.conventional_plan
   @ Plan_audit.run r.Cse.Pipeline.phase1_plan
   @ Plan_audit.run r.Cse.Pipeline.cse_plan
+  (* the conventional baseline shares winner subplans physically by
+     design, so SA042 applies to the spool-bearing plans only *)
+  @ Stage_audit.run ~expect_spooled_sharing:false
+      r.Cse.Pipeline.conventional_plan
+  @ Stage_audit.run r.Cse.Pipeline.phase1_plan
+  @ Stage_audit.run r.Cse.Pipeline.cse_plan
 
 let assert_clean ~cluster ~catalog r =
   let diags = report ~cluster ~catalog r in

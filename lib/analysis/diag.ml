@@ -44,6 +44,11 @@ let catalog =
     ("SA032", Error, "operator cost is negative or not finite");
     ("SA033", Warning, "spool node carries no memo group id");
     ("SA034", Error, "cached region cost summary does not reproduce");
+    (* stage-graph audit *)
+    ("SA040", Error, "stage graph is not topologically ordered");
+    ("SA041", Error, "stage interior diverges from its recorded dependencies");
+    ("SA042", Warning, "non-spool subtree shared across stage references");
+    ("SA043", Error, "OUTPUT or SEQUENCE outside the sink stage");
   ]
 
 let default_severity code =

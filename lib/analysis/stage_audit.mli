@@ -1,0 +1,20 @@
+(** Stage-graph auditor (SA040-SA043).
+
+    Re-derives the staged executor's structural invariants from the plan,
+    independently of {!Sexec.Stage.build}: topological stage ids (SA040),
+    dependency lists matching the interior's left-to-right boundary walk
+    (SA041), physical sharing flowing through spools only (SA042, warning)
+    and OUTPUT / SEQUENCE confined to the sink stage (SA043).  Stage
+    locations are reported as [Diag.Node] of the stage id. *)
+
+(** Audit an already-built stage graph against its plan.  With
+    [~expect_spooled_sharing:false] (the conventional baseline, which
+    shares winner subplans physically by design) SA042 is not emitted. *)
+val check_graph :
+  ?expect_spooled_sharing:bool ->
+  Sphys.Plan.t ->
+  Sexec.Stage.graph ->
+  Diag.t list
+
+(** Compile the plan with {!Sexec.Stage.build} and audit the result. *)
+val run : ?expect_spooled_sharing:bool -> Sphys.Plan.t -> Diag.t list

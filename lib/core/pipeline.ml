@@ -38,6 +38,14 @@ type report = {
   (* hot-path counter deltas over this run (Sutil.Counters), by name *)
 }
 
+(* Named-counter deltas, one "name=value" list on a line.  Shared by
+   [pp_steps] and the CLI's execution report, which prints the engine's
+   [exec.*] counters through the same formatter. *)
+let pp_counters ppf (counters : (string * int) list) =
+  Fmt.pf ppf "counters: %s@."
+    (String.concat "; "
+       (List.map (fun (n, v) -> Fmt.str "%s=%d" n v) counters))
+
 (* Narrative of the four optimization steps (Figure 2 of the paper), for
    the CLI's explain output and for humans reading test failures. *)
 let pp_steps ppf (r : report) =
@@ -69,10 +77,7 @@ let pp_steps ppf (r : report) =
   Fmt.pf ppf "result: estimated cost %.5g -> %.5g (%.1f%%)@."
     r.conventional_cost r.cse_cost
     (100.0 *. r.cse_cost /. Float.max 1e-9 r.conventional_cost);
-  if r.counters <> [] then
-    Fmt.pf ppf "counters: %s@."
-      (String.concat "; "
-         (List.map (fun (n, v) -> Fmt.str "%s=%d" n v) r.counters))
+  if r.counters <> [] then pp_counters ppf r.counters
 
 let ratio r = if r.conventional_cost = 0.0 then 1.0 else r.cse_cost /. r.conventional_cost
 

@@ -34,8 +34,13 @@ type report = {
   shared_info : Shared_info.t;
   counters : (string * int) list;
       (** hot-path counter deltas over this run ([Sutil.Counters]): winner
-          hits/misses, optimizer tasks, intern hits/misses — by name *)
+          hits/misses, optimizer tasks, intern hits/misses — by name.  The
+          execution engine's [exec.*] counters (stages, vertices, retries,
+          recomputed rows) land in the same registry when plans run. *)
 }
+
+(** Named-counter deltas as one "counters: name=value; ..." line. *)
+val pp_counters : (string * int) list Fmt.t
 
 (** Narrative of the four optimization steps (Figure 2 of the paper). *)
 val pp_steps : report Fmt.t

@@ -1,15 +1,22 @@
 open Relalg
 open Sphys
 
-(* Simulated distributed execution of physical plans.
+(* Simulated distributed execution of physical plans, staged.
 
    A stream is an array of per-machine row lists.  Exchanges move rows
    between machines using a *commutative* per-row hash over the partition
    columns, so two inputs partitioned on column sets linked by join
    equalities are co-located (the property the optimizer's co-partitioning
-   rules rely on).  Counters record rows shuffled, bytes read and spool
-   executions; [Validate] compares every output against the reference
-   evaluator. *)
+   rules rely on).
+
+   Execution is staged, SCOPE/Dryad style: [Stage.build] cuts the plan at
+   exchange / merge-exchange / gather / spool boundaries, and [Scheduler]
+   runs the stages bottom-up, caching each stage's output for its
+   consumers.  With fault injection enabled ([Faults]), cached partitions
+   can be lost between stages and are recovered by recomputing the
+   producing stage.  Counters record rows shuffled and extracted, spool
+   executions and reads, and the scheduler's stage / retry accounting;
+   [Validate] compares every output against the reference evaluator. *)
 
 type dist = { schema : Schema.t; parts : Value.t array list array }
 
@@ -18,34 +25,61 @@ type counters = {
   mutable rows_extracted : int;
   mutable spool_executions : int;
   mutable spool_reads : int;
+  mutable stages_run : int;
+  mutable vertices_run : int;
+  mutable retries : int;
+  mutable recomputed_rows : int;
+  mutable partitions_lost : int;
+  mutable machines_failed : int;
 }
 
 type t = {
   machines : int;
   catalog : Catalog.t;
   datagen : Datagen.config;
+  (* when set, every run draws deterministic fault events from this spec *)
+  faults : Faults.spec option;
   counters : counters;
-  (* spool materialization cache, keyed by physical plan identity *)
-  mutable spooled : (Plan.t * dist) list;
-  mutable outputs : (string * Table.t) list;
+  mutable outputs_rev : (string * Table.t) list;
   (* when set, every operator's *claimed* delivered properties are checked
      against the rows it actually produced *)
   verify_props : bool;
   mutable prop_violations : string list;
+  (* per-stage execution counts of the most recent [execute] *)
+  mutable last_attempts : int array;
 }
 
-let create ?(datagen = Datagen.default) ?(verify_props = false) ~machines
-    catalog =
+let c_stages = Sutil.Counters.counter "exec.stages_run"
+let c_vertices = Sutil.Counters.counter "exec.vertices_run"
+let c_retries = Sutil.Counters.counter "exec.retries"
+let c_recomputed = Sutil.Counters.counter "exec.recomputed_rows"
+let c_partitions_lost = Sutil.Counters.counter "exec.partitions_lost"
+let c_machines_failed = Sutil.Counters.counter "exec.machines_failed"
+
+let create ?(datagen = Datagen.default) ?(verify_props = false) ?faults
+    ~machines catalog =
   {
     machines;
     catalog;
     datagen;
+    faults;
     counters =
-      { rows_shuffled = 0; rows_extracted = 0; spool_executions = 0; spool_reads = 0 };
-    spooled = [];
-    outputs = [];
+      {
+        rows_shuffled = 0;
+        rows_extracted = 0;
+        spool_executions = 0;
+        spool_reads = 0;
+        stages_run = 0;
+        vertices_run = 0;
+        retries = 0;
+        recomputed_rows = 0;
+        partitions_lost = 0;
+        machines_failed = 0;
+      };
+    outputs_rev = [];
     verify_props;
     prop_violations = [];
+    last_attempts = [||];
   }
 
 let empty_parts t = Array.make t.machines []
@@ -132,7 +166,8 @@ let pred_of_pairs pairs residual =
 (* Check that the delivered properties recorded on a plan node hold on the
    rows it actually produced: a [Serial] stream occupies one machine, a
    [Hashed s] stream co-locates every s-tuple, and each partition is sorted
-   per the claimed order. *)
+   per the claimed order.  A claimed partition or sort column that the
+   delivered schema does not even contain is itself a violation. *)
 let check_delivered t (n : Plan.t) (d : dist) =
   let violation fmt =
     Fmt.kstr (fun m -> t.prop_violations <- m :: t.prop_violations) fmt
@@ -150,7 +185,11 @@ let check_delivered t (n : Plan.t) (d : dist) =
       let idxs =
         List.filter_map (fun c -> Schema.index_opt c d.schema) (Colset.to_list s)
       in
-      if List.length idxs = Colset.cardinal s then begin
+      if List.length idxs <> Colset.cardinal s then
+        violation "%s: claims hash%s but the delivered schema lacks %d of its columns"
+          where (Colset.to_string s)
+          (Colset.cardinal s - List.length idxs)
+      else begin
         let homes = Hashtbl.create 64 in
         Array.iteri
           (fun m part ->
@@ -176,7 +215,11 @@ let check_delivered t (n : Plan.t) (d : dist) =
             Option.map (fun i -> (i, dir)) (Schema.index_opt c d.schema))
           order
       in
-      if List.length idxs = List.length order then
+      if List.length idxs <> List.length order then
+        violation "%s: claims sort %s but the delivered schema lacks %d of its columns"
+          where (Sortorder.to_string order)
+          (List.length order - List.length idxs)
+      else
         let cmp a b =
           let rec go = function
             | [] -> 0
@@ -198,122 +241,202 @@ let check_delivered t (n : Plan.t) (d : dist) =
                 where (Sortorder.to_string order) m)
           d.parts)
 
-let rec execute t (plan : Plan.t) : dist =
-  let d = execute_op t plan in
-  if t.verify_props then check_delivered t plan d;
+(* Evaluate one stage's interior.  Boundary children are consumed from the
+   stage's dependency list in left-to-right depth-first order — the order
+   [Stage.build] recorded them — reading the producing stage's cached
+   output through [read].  Physical identity is asserted at every
+   consumption, so a compiler/evaluator walk divergence fails fast instead
+   of silently wiring a stage to the wrong input.  Boundary operators
+   appear in [eval_op] only as stage roots. *)
+let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
+  let deps = ref st.Stage.deps in
+  let rec eval (n : Plan.t) : dist =
+    let d = eval_op n in
+    if t.verify_props then check_delivered t n d;
+    d
+  and eval_child (c : Plan.t) : dist =
+    if Stage.boundary c then
+      match !deps with
+      | (b, sid) :: rest when b == c ->
+          deps := rest;
+          (match c.Plan.op with
+          | Physop.P_spool ->
+              t.counters.spool_reads <- t.counters.spool_reads + 1
+          | _ -> ());
+          read sid
+      | _ -> invalid_arg "Engine: stage dependency consumed out of order"
+    else eval c
+  and eval_op (n : Plan.t) : dist =
+    let schema = n.Plan.schema in
+    match n.Plan.op with
+    | Physop.P_extract { file; schema = fschema; _ } ->
+        let table =
+          Datagen.table ~config:t.datagen t.catalog ~file ~schema:fschema
+        in
+        t.counters.rows_extracted <-
+          t.counters.rows_extracted + Table.cardinality table;
+        let parts = empty_parts t in
+        List.iteri
+          (fun i row ->
+            let m = i mod t.machines in
+            parts.(m) <- row :: parts.(m))
+          table.Table.rows;
+        { schema = fschema; parts = Array.map List.rev parts }
+    | Physop.P_filter { pred } ->
+        let d = eval_child (List.hd n.Plan.children) in
+        map_parts
+          (List.filter (fun row -> Expr.eval_pred d.schema row pred))
+          d schema
+    | Physop.P_project { items } ->
+        let d = eval_child (List.hd n.Plan.children) in
+        map_parts
+          (List.map (fun row ->
+               Array.of_list
+                 (List.map (fun (e, _) -> Expr.eval d.schema row e) items)))
+          d schema
+    | Physop.P_sort { order } ->
+        let d = eval_child (List.hd n.Plan.children) in
+        map_parts (sort_rows d.schema order) d schema
+    | Physop.P_stream_agg { keys; aggs; scope = _ } ->
+        let d = eval_child (List.hd n.Plan.children) in
+        map_parts (stream_agg d.schema ~keys ~aggs) d schema
+    | Physop.P_hash_agg { keys; aggs; scope = _ } ->
+        let d = eval_child (List.hd n.Plan.children) in
+        map_parts
+          (fun rows ->
+            (Table.group_by (Table.make d.schema rows) ~keys ~aggs).Table.rows)
+          d schema
+    | Physop.P_merge_join { kind; pairs; residual }
+    | Physop.P_hash_join { kind; pairs; residual } -> (
+        match n.Plan.children with
+        | [ lc; rc ] ->
+            (* left before right: the dependency cursor order is the
+               compiler's left-to-right walk *)
+            let l = eval_child lc in
+            let r = eval_child rc in
+            let pred = pred_of_pairs pairs residual in
+            let parts = empty_parts t in
+            for m = 0 to t.machines - 1 do
+              let joined =
+                Table.join ~kind:
+                  (match kind with
+                  | Slogical.Logop.Inner -> `Inner
+                  | Slogical.Logop.Left_outer -> `Left_outer)
+                  (Table.make l.schema l.parts.(m))
+                  (Table.make r.schema r.parts.(m))
+                  pred
+              in
+              parts.(m) <- joined.Table.rows
+            done;
+            { schema; parts }
+        | _ -> invalid_arg "Engine: join expects two children")
+    | Physop.P_union_all -> (
+        match n.Plan.children with
+        | [ lc; rc ] ->
+            let l = eval_child lc in
+            let r = eval_child rc in
+            {
+              schema;
+              parts =
+                Array.init t.machines (fun m -> l.parts.(m) @ r.parts.(m));
+            }
+        | _ -> invalid_arg "Engine: union expects two children")
+    | Physop.P_spool ->
+        (* stage root: materialize once; consumers read through the
+           scheduler cache and count spool_reads at their boundary *)
+        t.counters.spool_executions <- t.counters.spool_executions + 1;
+        eval_child (List.hd n.Plan.children)
+    | Physop.P_output { file } ->
+        if not is_sink then
+          invalid_arg "Engine: OUTPUT outside the sink stage";
+        let d = eval_child (List.hd n.Plan.children) in
+        let rows = Array.to_list d.parts |> List.concat in
+        t.outputs_rev <- (file, Table.make d.schema rows) :: t.outputs_rev;
+        d
+    | Physop.P_sequence ->
+        List.iter (fun c -> ignore (eval_child c)) n.Plan.children;
+        { schema = []; parts = empty_parts t }
+    | Physop.P_exchange { cols } ->
+        let d = eval_child (List.hd n.Plan.children) in
+        exchange t d cols
+    | Physop.P_merge_exchange { cols } ->
+        let d = eval_child (List.hd n.Plan.children) in
+        let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
+        let ex = exchange t d cols in
+        (* merge the sorted runs: re-sorting each partition is equivalent *)
+        map_parts (sort_rows ex.schema child_sort) ex ex.schema
+    | Physop.P_gather ->
+        let d = eval_child (List.hd n.Plan.children) in
+        let all = Array.to_list d.parts |> List.concat in
+        let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
+        let all =
+          if Sortorder.is_empty child_sort then all
+          else sort_rows d.schema child_sort all
+        in
+        let parts = empty_parts t in
+        parts.(0) <- all;
+        t.counters.rows_shuffled <- t.counters.rows_shuffled + List.length all;
+        { schema = d.schema; parts }
+  in
+  let d = eval st.Stage.root in
+  (match !deps with
+  | [] -> ()
+  | _ -> invalid_arg "Engine: stage dependencies left unconsumed");
   d
 
-and execute_op t (plan : Plan.t) : dist =
-  let n = plan in
-  let schema = n.Plan.schema in
-  match n.Plan.op with
-  | Physop.P_extract { file; schema = fschema; _ } ->
-      let table = Datagen.table ~config:t.datagen t.catalog ~file ~schema:fschema in
-      t.counters.rows_extracted <-
-        t.counters.rows_extracted + Table.cardinality table;
-      let parts = empty_parts t in
-      List.iteri
-        (fun i row ->
-          let m = i mod t.machines in
-          parts.(m) <- row :: parts.(m))
-        table.Table.rows;
-      { schema = fschema; parts = Array.map List.rev parts }
-  | Physop.P_filter { pred } ->
-      let d = execute t (List.hd n.Plan.children) in
-      map_parts
-        (List.filter (fun row -> Expr.eval_pred d.schema row pred))
-        d schema
-  | Physop.P_project { items } ->
-      let d = execute t (List.hd n.Plan.children) in
-      map_parts
-        (List.map (fun row ->
-             Array.of_list
-               (List.map (fun (e, _) -> Expr.eval d.schema row e) items)))
-        d schema
-  | Physop.P_sort { order } ->
-      let d = execute t (List.hd n.Plan.children) in
-      map_parts (sort_rows d.schema order) d schema
-  | Physop.P_stream_agg { keys; aggs; scope = _ } ->
-      let d = execute t (List.hd n.Plan.children) in
-      map_parts (stream_agg d.schema ~keys ~aggs) d schema
-  | Physop.P_hash_agg { keys; aggs; scope = _ } ->
-      let d = execute t (List.hd n.Plan.children) in
-      map_parts
-        (fun rows ->
-          (Table.group_by (Table.make d.schema rows) ~keys ~aggs).Table.rows)
-        d schema
-  | Physop.P_merge_join { kind; pairs; residual }
-  | Physop.P_hash_join { kind; pairs; residual } -> (
-      match n.Plan.children with
-      | [ lc; rc ] ->
-          let l = execute t lc and r = execute t rc in
-          let pred = pred_of_pairs pairs residual in
-          let parts = empty_parts t in
-          for m = 0 to t.machines - 1 do
-            let joined =
-              Table.join ~kind:
-                (match kind with
-                | Slogical.Logop.Inner -> `Inner
-                | Slogical.Logop.Left_outer -> `Left_outer)
-                (Table.make l.schema l.parts.(m))
-                (Table.make r.schema r.parts.(m))
-                pred
-            in
-            parts.(m) <- joined.Table.rows
-          done;
-          { schema; parts }
-      | _ -> invalid_arg "Engine: join expects two children")
-  | Physop.P_union_all -> (
-      match n.Plan.children with
-      | [ lc; rc ] ->
-          let l = execute t lc and r = execute t rc in
-          {
-            schema;
-            parts =
-              Array.init t.machines (fun m -> l.parts.(m) @ r.parts.(m));
-          }
-      | _ -> invalid_arg "Engine: union expects two children")
-  | Physop.P_spool -> (
-      t.counters.spool_reads <- t.counters.spool_reads + 1;
-      match List.find_opt (fun (p, _) -> p == plan) t.spooled with
-      | Some (_, d) -> d
-      | None ->
-          t.counters.spool_executions <- t.counters.spool_executions + 1;
-          let d = execute t (List.hd n.Plan.children) in
-          t.spooled <- (plan, d) :: t.spooled;
-          d)
-  | Physop.P_output { file } ->
-      let d = execute t (List.hd n.Plan.children) in
-      let rows = Array.to_list d.parts |> List.concat in
-      t.outputs <- t.outputs @ [ (file, Table.make d.schema rows) ];
-      d
-  | Physop.P_sequence ->
-      List.iter (fun c -> ignore (execute t c)) n.Plan.children;
-      { schema = []; parts = empty_parts t }
-  | Physop.P_exchange { cols } ->
-      let d = execute t (List.hd n.Plan.children) in
-      exchange t d cols
-  | Physop.P_merge_exchange { cols } ->
-      let d = execute t (List.hd n.Plan.children) in
-      let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
-      let ex = exchange t d cols in
-      (* merge the sorted runs: re-sorting each partition is equivalent *)
-      map_parts (sort_rows ex.schema child_sort) ex ex.schema
-  | Physop.P_gather ->
-      let d = execute t (List.hd n.Plan.children) in
-      let all = Array.to_list d.parts |> List.concat in
-      let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
-      let all =
-        if Sortorder.is_empty child_sort then all
-        else sort_rows d.schema child_sort all
-      in
-      let parts = empty_parts t in
-      parts.(0) <- all;
-      t.counters.rows_shuffled <- t.counters.rows_shuffled + List.length all;
-      { schema = d.schema; parts }
+let dist_rows (d : dist) =
+  Array.fold_left (fun acc p -> acc + List.length p) 0 d.parts
 
-(* Run a root plan; returns the outputs in OUTPUT order. *)
+let execute t (plan : Plan.t) : dist =
+  let graph = Stage.build plan in
+  let faults =
+    Option.map (fun s -> Faults.create ~machines:t.machines s) t.faults
+  in
+  let max_attempts =
+    match t.faults with
+    | Some s -> s.Faults.max_attempts
+    | None -> Faults.default_attempts
+  in
+  let outcome =
+    Scheduler.run ~machines:t.machines ?faults ~max_attempts
+      ~execute:(fun st ~read ->
+        execute_stage t ~is_sink:(st.Stage.id = graph.Stage.sink) st ~read)
+      ~rows:dist_rows graph
+  in
+  let m = outcome.Scheduler.metrics in
+  let c = t.counters in
+  c.stages_run <- c.stages_run + m.Scheduler.stages_run;
+  c.vertices_run <- c.vertices_run + m.Scheduler.vertices_run;
+  c.retries <- c.retries + m.Scheduler.retries;
+  c.recomputed_rows <- c.recomputed_rows + m.Scheduler.recomputed_rows;
+  c.partitions_lost <- c.partitions_lost + m.Scheduler.partitions_lost;
+  c.machines_failed <- c.machines_failed + m.Scheduler.machines_failed;
+  c_stages := !c_stages + m.Scheduler.stages_run;
+  c_vertices := !c_vertices + m.Scheduler.vertices_run;
+  c_retries := !c_retries + m.Scheduler.retries;
+  c_recomputed := !c_recomputed + m.Scheduler.recomputed_rows;
+  c_partitions_lost := !c_partitions_lost + m.Scheduler.partitions_lost;
+  c_machines_failed := !c_machines_failed + m.Scheduler.machines_failed;
+  t.last_attempts <- outcome.Scheduler.attempts;
+  outcome.Scheduler.result
+
+(* Run a root plan; returns the outputs in OUTPUT order.  Every per-run
+   accumulator is reset first, so a reused engine starts clean: no stale
+   outputs or violations, counters covering exactly this run. *)
 let run t (plan : Plan.t) : (string * Table.t) list =
-  t.outputs <- [];
+  t.outputs_rev <- [];
+  t.prop_violations <- [];
+  t.last_attempts <- [||];
+  let c = t.counters in
+  c.rows_shuffled <- 0;
+  c.rows_extracted <- 0;
+  c.spool_executions <- 0;
+  c.spool_reads <- 0;
+  c.stages_run <- 0;
+  c.vertices_run <- 0;
+  c.retries <- 0;
+  c.recomputed_rows <- 0;
+  c.partitions_lost <- 0;
+  c.machines_failed <- 0;
   ignore (execute t plan);
-  t.outputs
+  List.rev t.outputs_rev

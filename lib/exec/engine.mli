@@ -1,10 +1,19 @@
-(** Simulated distributed execution of physical plans.
+(** Simulated distributed execution of physical plans, staged.
 
     A stream is an array of per-machine row lists. Exchanges move rows with
     a commutative per-row hash over the partition columns, so inputs
-    partitioned on equality-linked column sets are co-located. Counters
-    record rows shuffled/extracted and spool executions; spooled results
-    are cached by plan identity so a shared subexpression runs once. *)
+    partitioned on equality-linked column sets are co-located.
+
+    Execution is staged, SCOPE/Dryad style: {!Stage.build} cuts the plan
+    at exchange / merge-exchange / gather / spool boundaries and
+    {!Scheduler.run} executes the stages bottom-up, caching each stage's
+    output for its consumers — a spooled subexpression runs once however
+    many consumers read it. With a fault {!Faults.spec} installed, cached
+    partitions can be lost between stages and are recovered by
+    recomputing the producing stage. Counters record rows
+    shuffled/extracted, spool executions/reads, and stage/retry
+    accounting (also surfaced as the global [exec.*] counters in
+    [Sutil.Counters]). *)
 
 type dist = {
   schema : Relalg.Schema.t;
@@ -16,24 +25,36 @@ type counters = {
   mutable rows_extracted : int;
   mutable spool_executions : int;
   mutable spool_reads : int;
+  mutable stages_run : int;  (** stage executions, recoveries included *)
+  mutable vertices_run : int;  (** one vertex per machine per execution *)
+  mutable retries : int;  (** recovery re-executions of completed stages *)
+  mutable recomputed_rows : int;  (** rows produced by those re-executions *)
+  mutable partitions_lost : int;
+  mutable machines_failed : int;
 }
 
 type t = {
   machines : int;
   catalog : Relalg.Catalog.t;
   datagen : Datagen.config;
+  faults : Faults.spec option;
+      (** when set, every run draws deterministic fault events *)
   counters : counters;
-  mutable spooled : (Sphys.Plan.t * dist) list;
-  mutable outputs : (string * Relalg.Table.t) list;
+  mutable outputs_rev : (string * Relalg.Table.t) list;
+      (** OUTPUT tables in reverse script order; [run] returns them
+          reversed *)
   verify_props : bool;
       (** when set, every operator's claimed delivered properties are
           checked against the rows it actually produced *)
   mutable prop_violations : string list;
+  mutable last_attempts : int array;
+      (** per-stage execution counts of the most recent [execute] *)
 }
 
 val create :
   ?datagen:Datagen.config ->
   ?verify_props:bool ->
+  ?faults:Faults.spec ->
   machines:int ->
   Relalg.Catalog.t ->
   t
@@ -49,8 +70,13 @@ val stream_agg :
   Relalg.Value.t array list ->
   Relalg.Value.t array list
 
-(** Execute a plan, returning its output stream. *)
+(** Compile the plan to a stage graph and execute it, returning the sink
+    stage's output stream. Counters accumulate across calls; outputs
+    append. Raises {!Scheduler.Recovery_exhausted} when fault injection
+    exceeds a stage's attempt budget. *)
 val execute : t -> Sphys.Plan.t -> dist
 
-(** Execute a root plan; returns the OUTPUT files in script order. *)
+(** Execute a root plan; returns the OUTPUT files in script order.
+    Resets outputs, property violations and counters first, so a reused
+    engine reports exactly this run. *)
 val run : t -> Sphys.Plan.t -> (string * Relalg.Table.t) list

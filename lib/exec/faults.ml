@@ -1,0 +1,48 @@
+(* Deterministic fault injection for the staged executor.
+
+   Real clusters lose spooled partitions and whole machines; SCOPE-style
+   systems recover by recomputing the producing vertex.  This module
+   draws such events from a seeded deterministic stream ([Sutil.Rng]) so
+   a faulty run is exactly reproducible: the same seed, rate and plan
+   produce the same loss sequence, and tests can assert byte-identical
+   outputs against the fault-free run.
+
+   Events are drawn once per stage completion — the scheduler's only
+   synchronization points — over the set of currently cached stage
+   outputs.  A [Kill_machine m] event models a transient machine loss:
+   partition [m] of every cached stage output disappears at once. *)
+
+type spec = { seed : int; rate : float; max_attempts : int }
+
+let default_attempts = 16
+
+let spec ?(rate = 0.15) ?(max_attempts = default_attempts) seed =
+  if rate < 0.0 || rate >= 1.0 then
+    invalid_arg "Faults.spec: rate must be in [0, 1)";
+  if max_attempts < 1 then invalid_arg "Faults.spec: max_attempts must be >= 1";
+  { seed; rate; max_attempts }
+
+type event =
+  | Lose_partition of { stage : int; machine : int }
+  | Kill_machine of int
+
+type t = { rng : Sutil.Rng.t; rate : float; machines : int }
+
+let create ~machines (s : spec) =
+  { rng = Sutil.Rng.create s.seed; rate = s.rate; machines }
+
+(* One Bernoulli(rate) trial per completion; a firing trial is a machine
+   kill one time in four, a single-partition loss otherwise. *)
+let draw t ~completed:_ ~cached =
+  if cached = [] || t.rate <= 0.0 then []
+  else if Sutil.Rng.float t.rng 1.0 >= t.rate then []
+  else if Sutil.Rng.int t.rng 4 = 0 then
+    [ Kill_machine (Sutil.Rng.int t.rng t.machines) ]
+  else
+    let stage = Sutil.Rng.pick_list t.rng cached in
+    [ Lose_partition { stage; machine = Sutil.Rng.int t.rng t.machines } ]
+
+let pp_event ppf = function
+  | Lose_partition { stage; machine } ->
+      Fmt.pf ppf "lost partition %d of stage %d" machine stage
+  | Kill_machine m -> Fmt.pf ppf "machine %d failed" m

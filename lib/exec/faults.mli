@@ -1,0 +1,37 @@
+(** Deterministic fault injection for the staged executor.
+
+    Seeded partition-loss and machine-failure events drawn between stage
+    executions: the same seed, rate and plan reproduce the same loss
+    sequence, so faulty runs can be asserted byte-identical to fault-free
+    ones. *)
+
+type spec = {
+  seed : int;
+  rate : float;  (** per-stage-completion event probability, in [0, 1) *)
+  max_attempts : int;  (** per-stage execution budget (first run included) *)
+}
+
+val default_attempts : int
+
+(** [spec seed] with the default rate (0.15) and attempt budget.
+    Raises [Invalid_argument] on a rate outside [0, 1) or a non-positive
+    budget. *)
+val spec : ?rate:float -> ?max_attempts:int -> int -> spec
+
+type event =
+  | Lose_partition of { stage : int; machine : int }
+      (** one cached partition of one stage output disappears *)
+  | Kill_machine of int
+      (** transient machine loss: that partition of every cached stage
+          output disappears at once *)
+
+type t
+
+val create : machines:int -> spec -> t
+
+(** Events fired by the completion of stage [completed]; [cached] is the
+    set of stage ids with a cached output (the just-completed stage
+    included).  Deterministic in the call sequence. *)
+val draw : t -> completed:int -> cached:int list -> event list
+
+val pp_event : event Fmt.t

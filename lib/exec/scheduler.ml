@@ -1,0 +1,120 @@
+(* Stage scheduler with fault recovery.
+
+   Runs a [Stage.graph] bottom-up: every stage executes once in
+   topological order, its output cached for downstream consumers.  When
+   fault injection is active, events drawn after each completion can mark
+   cached partitions lost; before a stage executes, every lost input is
+   *recovered* by recomputing the producing stage — from that stage's own
+   cached inputs when they are intact, recursively from source otherwise —
+   under a per-stage attempt budget.
+
+   The scheduler is generic in the stage-output type: the engine supplies
+   [execute] (evaluate one stage's interior, reading dependencies through
+   the cache) and [rows] (output size, for recompute accounting).  Faults
+   only strike between executions, so a stage's inputs cannot vanish
+   mid-evaluation. *)
+
+type metrics = {
+  mutable stages_run : int;  (* stage executions, recoveries included *)
+  mutable vertices_run : int;  (* one vertex per machine per execution *)
+  mutable retries : int;  (* re-executions of a previously completed stage *)
+  mutable recomputed_rows : int;  (* rows produced by those re-executions *)
+  mutable partitions_lost : int;
+  mutable machines_failed : int;
+}
+
+let fresh_metrics () =
+  {
+    stages_run = 0;
+    vertices_run = 0;
+    retries = 0;
+    recomputed_rows = 0;
+    partitions_lost = 0;
+    machines_failed = 0;
+  }
+
+exception Recovery_exhausted of { stage : int; attempts : int }
+
+type 'o outcome = {
+  result : 'o;  (* the sink stage's output *)
+  attempts : int array;  (* per-stage execution counts *)
+  metrics : metrics;
+}
+
+let run ~machines ?faults ?(max_attempts = Faults.default_attempts) ~execute
+    ~rows (graph : Stage.graph) : 'o outcome =
+  let n = Array.length graph.Stage.stages in
+  let cache : 'o option array = Array.make n None in
+  (* lost.(sid) is empty until a fault strikes sid's cached output *)
+  let lost : bool array array = Array.make n [||] in
+  let attempts = Array.make n 0 in
+  let metrics = fresh_metrics () in
+  let available sid =
+    cache.(sid) <> None && Array.for_all not lost.(sid)
+  in
+  let mark_lost sid m =
+    if cache.(sid) <> None then begin
+      if lost.(sid) = [||] then lost.(sid) <- Array.make machines false;
+      if not lost.(sid).(m) then begin
+        lost.(sid).(m) <- true;
+        metrics.partitions_lost <- metrics.partitions_lost + 1
+      end
+    end
+  in
+  let inject completed =
+    match faults with
+    | None -> ()
+    | Some f ->
+        let cached = ref [] in
+        for sid = n - 1 downto 0 do
+          if cache.(sid) <> None then cached := sid :: !cached
+        done;
+        List.iter
+          (function
+            | Faults.Lose_partition { stage; machine } ->
+                mark_lost stage machine
+            | Faults.Kill_machine m ->
+                metrics.machines_failed <- metrics.machines_failed + 1;
+                List.iter (fun sid -> mark_lost sid m) !cached)
+          (Faults.draw f ~completed ~cached:!cached)
+  in
+  let rec run_stage sid =
+    let st = graph.Stage.stages.(sid) in
+    ensure st;
+    let recovery = cache.(sid) <> None in
+    attempts.(sid) <- attempts.(sid) + 1;
+    if attempts.(sid) > max_attempts then
+      raise (Recovery_exhausted { stage = sid; attempts = attempts.(sid) });
+    metrics.stages_run <- metrics.stages_run + 1;
+    metrics.vertices_run <- metrics.vertices_run + machines;
+    let out =
+      execute st ~read:(fun dep ->
+          match cache.(dep) with
+          | Some o -> o
+          | None -> invalid_arg "Scheduler: dependency executed out of order")
+    in
+    cache.(sid) <- Some out;
+    lost.(sid) <- [||];
+    if recovery then begin
+      metrics.retries <- metrics.retries + 1;
+      metrics.recomputed_rows <- metrics.recomputed_rows + rows out
+    end;
+    inject sid
+  (* loop until every input is available at once: recovering one stage
+     fires completion events that may lose another *)
+  and ensure (st : Stage.stage) =
+    match
+      List.find_opt (fun (_, dep) -> not (available dep)) st.Stage.deps
+    with
+    | None -> ()
+    | Some (_, dep) ->
+        run_stage dep;
+        ensure st
+  in
+  Array.iter (fun (st : Stage.stage) -> run_stage st.Stage.id) graph.Stage.stages;
+  let result =
+    match cache.(graph.Stage.sink) with
+    | Some o -> o
+    | None -> invalid_arg "Scheduler: sink stage did not complete"
+  in
+  { result; attempts; metrics }

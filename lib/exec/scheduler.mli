@@ -1,0 +1,44 @@
+(** Stage scheduler with fault recovery.
+
+    Executes a {!Stage.graph} bottom-up, caching each stage's output for
+    its consumers.  Fault events drawn after each completion may mark
+    cached partitions lost; a lost input is recovered by recomputing the
+    producing stage — from its own cached inputs when intact, recursively
+    from source otherwise — under a per-stage attempt budget.  Generic in
+    the stage-output type: the caller supplies evaluation and row
+    counting. *)
+
+type metrics = {
+  mutable stages_run : int;  (** stage executions, recoveries included *)
+  mutable vertices_run : int;  (** one vertex per machine per execution *)
+  mutable retries : int;
+      (** re-executions of a previously completed stage *)
+  mutable recomputed_rows : int;  (** rows produced by those re-executions *)
+  mutable partitions_lost : int;
+  mutable machines_failed : int;
+}
+
+val fresh_metrics : unit -> metrics
+
+(** A stage exceeded its execution budget while recovering. *)
+exception Recovery_exhausted of { stage : int; attempts : int }
+
+type 'o outcome = {
+  result : 'o;  (** the sink stage's output *)
+  attempts : int array;  (** per-stage execution counts *)
+  metrics : metrics;
+}
+
+(** [run ~machines ?faults ~execute ~rows graph] executes every stage in
+    topological order.  [execute st ~read] evaluates one stage, calling
+    [read dep] for each cached input; [rows] sizes an output for
+    recompute accounting.  Raises {!Recovery_exhausted} when a stage's
+    attempt budget (default {!Faults.default_attempts}) runs out. *)
+val run :
+  machines:int ->
+  ?faults:Faults.t ->
+  ?max_attempts:int ->
+  execute:(Stage.stage -> read:(int -> 'o) -> 'o) ->
+  rows:('o -> int) ->
+  Stage.graph ->
+  'o outcome

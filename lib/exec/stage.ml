@@ -1,0 +1,125 @@
+open Sphys
+
+(* Stage-graph compilation: a physical plan DAG cut at data-movement and
+   materialization boundaries, SCOPE/Dryad style.
+
+   A *stage* is a maximal operator subtree executed as one unit: its root
+   is a boundary operator (exchange, merge-exchange, gather or spool) or
+   the plan root, and its interior extends downward until the next
+   boundary.  Boundary children become *dependencies* — edges to the stage
+   that produces them.
+
+   Sharing follows the engine's execution semantics exactly:
+
+   - a [P_spool] boundary gets ONE stage however many consumers reference
+     it (physical identity); that stage's cached output is what the paper
+     shares;
+   - every other boundary gets a stage PER REFERENCE, and shared non-spool
+     interior nodes are walked (hence later executed) once per reference.
+     This is deliberate tree expansion: the conventional baseline reuses
+     winner subplans physically but pays for each consumer's copy, and
+     the executor's counters must account each copy.  [shared_interior]
+     records such nodes so the stage auditor can flag them in plans that
+     are supposed to share through spools only.
+
+   [deps] lists each boundary encounter of the interior in left-to-right
+   depth-first order — the order the engine's interior evaluator consumes
+   them — paired with the boundary node itself so the consumer can verify
+   it is reading what the compiler cut. *)
+
+type stage = {
+  id : int;
+  root : Plan.t;
+  deps : (Plan.t * int) list;
+      (* boundary children in interior walk order, with producing stage *)
+  nodes : int; (* interior size, the root included *)
+}
+
+type graph = {
+  stages : stage array;
+      (* indexed by id; topological: every dependency precedes its consumer *)
+  sink : int; (* the plan root's stage; always the last *)
+  shared_interior : Plan.t list;
+      (* non-boundary nodes reachable from more than one interior position *)
+}
+
+let boundary (n : Plan.t) =
+  match n.Plan.op with
+  | Physop.P_exchange _ | Physop.P_merge_exchange _ | Physop.P_gather
+  | Physop.P_spool ->
+      true
+  | _ -> false
+
+let mem_phys x l = List.exists (fun y -> y == x) l
+
+let assq_phys x l =
+  List.find_opt (fun (k, _) -> k == x) l |> Option.map snd
+
+let build (plan : Plan.t) : graph =
+  let stages = ref [] in
+  let count = ref 0 in
+  (* spools are deduplicated by physical identity; other boundaries are
+     instantiated per reference *)
+  let spool_stage : (Plan.t * int) list ref = ref [] in
+  let interior_seen : Plan.t list ref = ref [] in
+  let shared = ref [] in
+  let rec stage_of root =
+    let deps = ref [] in
+    let nodes = ref 0 in
+    let rec walk n =
+      incr nodes;
+      if not (boundary n) then
+        if mem_phys n !interior_seen then begin
+          if not (mem_phys n !shared) then shared := n :: !shared
+        end
+        else interior_seen := n :: !interior_seen;
+      List.iter
+        (fun (c : Plan.t) ->
+          if boundary c then begin
+            let sid =
+              match c.Plan.op with
+              | Physop.P_spool -> (
+                  match assq_phys c !spool_stage with
+                  | Some sid -> sid
+                  | None ->
+                      let sid = stage_of c in
+                      spool_stage := (c, sid) :: !spool_stage;
+                      sid)
+              | _ -> stage_of c
+            in
+            deps := (c, sid) :: !deps
+          end
+          else walk c)
+        n.Plan.children
+    in
+    walk root;
+    let id = !count in
+    incr count;
+    stages := { id; root; deps = List.rev !deps; nodes = !nodes } :: !stages;
+    id
+  in
+  let sink = stage_of plan in
+  {
+    stages = Array.of_list (List.rev !stages);
+    sink;
+    shared_interior = List.rev !shared;
+  }
+
+let size g = Array.length g.stages
+
+let describe (s : stage) =
+  Printf.sprintf "stage %d [%s] (%d operator%s, %d input%s)" s.id
+    (Physop.short_name s.root.Plan.op)
+    s.nodes
+    (if s.nodes = 1 then "" else "s")
+    (List.length s.deps)
+    (if List.length s.deps = 1 then "" else "s")
+
+let pp ppf g =
+  Array.iter
+    (fun s ->
+      Fmt.pf ppf "%s%s <- {%s}@." (describe s)
+        (if s.id = g.sink then " (sink)" else "")
+        (String.concat ","
+           (List.map (fun (_, sid) -> string_of_int sid) s.deps)))
+    g.stages

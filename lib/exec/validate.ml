@@ -6,6 +6,8 @@ type outcome = {
   ok : bool;
   mismatches : string list;
   counters : Engine.counters;
+  outputs : (string * Table.t) list;
+  attempts : int array;
 }
 
 (* ORDER BY specifications per output file, from the logical DAG. *)
@@ -38,14 +40,30 @@ let rows_sorted (schema : Schema.t) order rows =
   in
   sorted rows
 
+(* Byte-identical output comparison: same files in the same order, same
+   rows in the same order.  Stricter than [Table.same_contents] (a
+   multiset check) — this is what fault-recovery determinism promises. *)
+let identical_outputs (a : (string * Table.t) list)
+    (b : (string * Table.t) list) =
+  let row_eq ra rb =
+    Array.length ra = Array.length rb
+    && Array.for_all2 Value.equal ra rb
+  in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (fa, (ta : Table.t)) (fb, (tb : Table.t)) ->
+         String.equal fa fb && ta.Table.schema = tb.Table.schema
+         && List.equal row_eq ta.Table.rows tb.Table.rows)
+       a b
+
 (* Execute [plan] on a simulated cluster and compare every OUTPUT file's
    contents against the reference results for [dag]; outputs with an
    ORDER BY are additionally checked to be globally sorted. *)
-let check ?(datagen = Datagen.default) ?(verify_props = false) ~machines
-    (catalog : Catalog.t) (dag : Slogical.Dag.t) (plan : Sphys.Plan.t) :
-    outcome =
+let check ?(datagen = Datagen.default) ?(verify_props = false) ?faults
+    ~machines (catalog : Catalog.t) (dag : Slogical.Dag.t)
+    (plan : Sphys.Plan.t) : outcome =
   let expected = Reference.run ~datagen catalog dag in
-  let engine = Engine.create ~datagen ~verify_props ~machines catalog in
+  let engine = Engine.create ~datagen ~verify_props ?faults ~machines catalog in
   let actual = Engine.run engine plan in
   let mismatches = ref [] in
   List.iter
@@ -81,4 +99,10 @@ let check ?(datagen = Datagen.default) ?(verify_props = false) ~machines
             :: !mismatches)
       expected actual;
   mismatches := engine.Engine.prop_violations @ !mismatches;
-  { ok = !mismatches = []; mismatches = !mismatches; counters = engine.Engine.counters }
+  {
+    ok = !mismatches = [];
+    mismatches = !mismatches;
+    counters = engine.Engine.counters;
+    outputs = actual;
+    attempts = engine.Engine.last_attempts;
+  }

@@ -4,16 +4,27 @@ type outcome = {
   ok : bool;
   mismatches : string list;
   counters : Engine.counters;
+  outputs : (string * Relalg.Table.t) list;
+      (** the engine's OUTPUT tables, in script order *)
+  attempts : int array;  (** per-stage execution counts of the run *)
 }
+
+(** Byte-identical output comparison: same files in the same order, same
+    rows in the same order.  Stricter than [Table.same_contents] — this is
+    what fault-recovery determinism promises. *)
+val identical_outputs :
+  (string * Relalg.Table.t) list -> (string * Relalg.Table.t) list -> bool
 
 (** Execute the plan on a simulated cluster and compare every OUTPUT file
     against the reference results of the logical DAG; outputs with an
     ORDER BY are checked to be globally sorted, and with [~verify_props]
     every operator's claimed delivered properties are checked against the
-    rows it actually produced. *)
+    rows it actually produced.  [?faults] injects deterministic faults
+    during execution (the outputs must still validate). *)
 val check :
   ?datagen:Datagen.config ->
   ?verify_props:bool ->
+  ?faults:Faults.spec ->
   machines:int ->
   Relalg.Catalog.t ->
   Slogical.Dag.t ->

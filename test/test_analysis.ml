@@ -378,6 +378,55 @@ let test_sa034_stale_region_cache () =
   assert_not_code "SA034" (Sanalysis.Plan_audit.run conv);
   assert_not_code "SA034" (Sanalysis.Plan_audit.run cse)
 
+(* --- negative: stage-graph audit ----------------------------------------- *)
+
+(* SA040: a graph whose sink is not the last stage. *)
+let test_sa040_not_topological () =
+  let _, _, r = raw_report Sworkload.Paper_scripts.s1 in
+  let plan = r.Cse.Pipeline.cse_plan in
+  let g = Sexec.Stage.build plan in
+  Alcotest.(check bool) "several stages" true (Sexec.Stage.size g > 1);
+  let bad = { g with Sexec.Stage.sink = 0 } in
+  assert_code "SA040" (Sanalysis.Stage_audit.check_graph plan bad);
+  assert_not_code "SA040" (Sanalysis.Stage_audit.run plan)
+
+(* SA041: a stage whose recorded dependencies vanish. *)
+let test_sa041_divergent_deps () =
+  let _, _, r = raw_report Sworkload.Paper_scripts.s1 in
+  let plan = r.Cse.Pipeline.cse_plan in
+  let g = Sexec.Stage.build plan in
+  let stages =
+    Array.map
+      (fun (st : Sexec.Stage.stage) ->
+        if st.Sexec.Stage.deps = [] then st
+        else { st with Sexec.Stage.deps = [] })
+      g.Sexec.Stage.stages
+  in
+  assert_code "SA041"
+    (Sanalysis.Stage_audit.check_graph plan { g with Sexec.Stage.stages });
+  assert_not_code "SA041" (Sanalysis.Stage_audit.run plan)
+
+(* SA042: the conventional baseline shares winner subplans physically, so
+   auditing it under CSE expectations warns; under its own expectations it
+   is clean. *)
+let test_sa042_unspooled_sharing () =
+  let _, _, r = raw_report Sworkload.Paper_scripts.s1 in
+  let conv = r.Cse.Pipeline.conventional_plan in
+  assert_code "SA042"
+    (Sanalysis.Stage_audit.run ~expect_spooled_sharing:true conv);
+  assert_not_code "SA042"
+    (Sanalysis.Stage_audit.run ~expect_spooled_sharing:false conv)
+
+(* SA043: declaring an interior stage the sink makes the true sink's
+   OUTPUT/SEQUENCE interior illegal. *)
+let test_sa043_output_outside_sink () =
+  let _, _, r = raw_report Sworkload.Paper_scripts.s1 in
+  let plan = r.Cse.Pipeline.cse_plan in
+  let g = Sexec.Stage.build plan in
+  let bad = { g with Sexec.Stage.sink = 0 } in
+  assert_code "SA043" (Sanalysis.Stage_audit.check_graph plan bad);
+  assert_not_code "SA043" (Sanalysis.Stage_audit.run plan)
+
 (* --- framework ----------------------------------------------------------- *)
 
 let test_diag_framework () =
@@ -448,5 +497,16 @@ let () =
           Alcotest.test_case "SA033 anonymous spool" `Quick test_sa033_anonymous_spool;
           Alcotest.test_case "SA034 stale region cache" `Quick
             test_sa034_stale_region_cache;
+        ] );
+      ( "stage audit",
+        [
+          Alcotest.test_case "SA040 not topological" `Quick
+            test_sa040_not_topological;
+          Alcotest.test_case "SA041 divergent deps" `Quick
+            test_sa041_divergent_deps;
+          Alcotest.test_case "SA042 unspooled sharing" `Quick
+            test_sa042_unspooled_sharing;
+          Alcotest.test_case "SA043 output outside sink" `Quick
+            test_sa043_output_outside_sink;
         ] );
     ]

@@ -204,6 +204,144 @@ let test_run_twice_same_result () =
       Alcotest.(check bool) "rows" true (Table.same_contents t1 t2))
     o1 o2
 
+(* --- staged execution and fault injection -------------------------------- *)
+
+let test_stage_graph_shape () =
+  let _, _, plan = optimize Sworkload.Paper_scripts.s1 in
+  let g = Sexec.Stage.build plan in
+  Alcotest.(check bool) "several stages" true (Sexec.Stage.size g > 1);
+  Alcotest.(check int) "sink is last" (Sexec.Stage.size g - 1) g.Sexec.Stage.sink;
+  (* S1's two consumers read the same spool: one producing stage, two
+     dependency edges *)
+  let sink = g.Sexec.Stage.stages.(g.Sexec.Stage.sink) in
+  (match sink.Sexec.Stage.deps with
+  | [ (b1, s1); (b2, s2) ] ->
+      Alcotest.(check bool) "same spool node" true (b1 == b2);
+      Alcotest.(check int) "same producing stage" s1 s2
+  | deps -> Alcotest.failf "expected 2 sink dependencies, got %d" (List.length deps));
+  (* every dependency precedes its consumer *)
+  Array.iter
+    (fun (st : Sexec.Stage.stage) ->
+      List.iter
+        (fun (_, dep) ->
+          Alcotest.(check bool) "topological" true (dep < st.Sexec.Stage.id))
+        st.Sexec.Stage.deps)
+    g.Sexec.Stage.stages
+
+let test_engine_reuse_resets () =
+  (* regression: a reused engine once served stale spool results and
+     accumulated counters across runs *)
+  let catalog, _, plan = optimize Sworkload.Paper_scripts.s1 in
+  let engine = Sexec.Engine.create ~machines:6 catalog in
+  let o1 = Sexec.Engine.run engine plan in
+  let c = engine.Sexec.Engine.counters in
+  let shuffled1 = c.Sexec.Engine.rows_shuffled in
+  let extracted1 = c.Sexec.Engine.rows_extracted in
+  let spools1 = c.Sexec.Engine.spool_executions in
+  let o2 = Sexec.Engine.run engine plan in
+  Alcotest.(check int) "rows_shuffled reset" shuffled1 c.Sexec.Engine.rows_shuffled;
+  Alcotest.(check int) "rows_extracted reset" extracted1 c.Sexec.Engine.rows_extracted;
+  Alcotest.(check int) "spool_executions reset" spools1 c.Sexec.Engine.spool_executions;
+  Alcotest.(check int) "outputs not accumulated" (List.length o1) (List.length o2);
+  Alcotest.(check bool) "outputs identical" true
+    (Sexec.Validate.identical_outputs o1 o2)
+
+(* Fault-injected runs over [seeds] must validate against the reference
+   and stay byte-identical to the fault-free run; returns the retries
+   observed, so callers can assert recovery actually happened. *)
+let fault_roundtrip ?(rate = 0.3) ?max_attempts ~machines ~seeds catalog dag
+    plan =
+  let base = Sexec.Validate.check ~machines catalog dag plan in
+  if not base.Sexec.Validate.ok then
+    Alcotest.failf "fault-free run failed: %s"
+      (String.concat "; " base.Sexec.Validate.mismatches);
+  List.fold_left
+    (fun retries seed ->
+      let faults = Sexec.Faults.spec ~rate ?max_attempts seed in
+      let v = Sexec.Validate.check ~faults ~machines catalog dag plan in
+      if not v.Sexec.Validate.ok then
+        Alcotest.failf "fault seed %d: %s" seed
+          (String.concat "; " v.Sexec.Validate.mismatches);
+      if
+        not
+          (Sexec.Validate.identical_outputs base.Sexec.Validate.outputs
+             v.Sexec.Validate.outputs)
+      then Alcotest.failf "fault seed %d: outputs diverge" seed;
+      retries + v.Sexec.Validate.counters.Sexec.Engine.retries)
+    0 seeds
+
+let test_faults_builtins () =
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let total =
+    List.fold_left
+      (fun acc (_, script) ->
+        List.fold_left
+          (fun acc cse ->
+            let catalog, dag, plan = optimize ~cse script in
+            acc + fault_roundtrip ~machines:6 ~seeds catalog dag plan)
+          acc [ true; false ])
+      0
+      (Sworkload.Paper_scripts.all
+      @ [ ("IND", Sworkload.Paper_scripts.independent_pair) ])
+  in
+  Alcotest.(check bool) "recoveries exercised" true (total > 0)
+
+let test_faults_random_scripts () =
+  let total = ref 0 in
+  for seed = 1 to 50 do
+    let script = Sworkload.Random_gen.generate ~seed ~statements:6 () in
+    let catalog = Sworkload.Random_gen.catalog () in
+    let r = Cse.Pipeline.run ~catalog script in
+    total :=
+      !total
+      + fault_roundtrip ~rate:0.4 ~machines:5
+          ~seeds:[ seed; seed + 1000 ]
+          catalog r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+  done;
+  Alcotest.(check bool) "recoveries exercised" true (!total > 0)
+
+let test_faults_large_scripts () =
+  let total = ref 0 in
+  List.iter
+    (fun script ->
+      let catalog = Relalg.Catalog.default () in
+      Sworkload.Large_gen.register_files catalog script;
+      let r = Cse.Pipeline.run ~catalog script in
+      (* large stage graphs see many fault events over a run: a gentler
+         rate and a deeper budget keep every loss recoverable *)
+      total :=
+        !total
+        + fault_roundtrip ~rate:0.1 ~max_attempts:64 ~machines:9
+            ~seeds:[ 1; 2 ] catalog r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan)
+    [ Sworkload.Large_gen.ls1 (); Sworkload.Large_gen.ls2 () ];
+  Alcotest.(check bool) "recoveries exercised" true (!total > 0)
+
+let test_faults_deterministic () =
+  (* the same seed and rate reproduce the same loss sequence exactly *)
+  let catalog, dag, plan = optimize Sworkload.Paper_scripts.s1 in
+  let faults = Sexec.Faults.spec ~rate:0.5 42 in
+  let v1 = Sexec.Validate.check ~faults ~machines:6 catalog dag plan in
+  let v2 = Sexec.Validate.check ~faults ~machines:6 catalog dag plan in
+  Alcotest.(check int) "same retries"
+    v1.Sexec.Validate.counters.Sexec.Engine.retries
+    v2.Sexec.Validate.counters.Sexec.Engine.retries;
+  Alcotest.(check (array int)) "same per-stage attempts"
+    v1.Sexec.Validate.attempts v2.Sexec.Validate.attempts;
+  Alcotest.(check bool) "same outputs" true
+    (Sexec.Validate.identical_outputs v1.Sexec.Validate.outputs
+       v2.Sexec.Validate.outputs)
+
+let test_faults_budget_exhaustion () =
+  (* a rate close to 1 starves recovery: the attempt budget must bound the
+     loop and raise instead of spinning *)
+  let catalog, _, plan = optimize Sworkload.Paper_scripts.s1 in
+  let faults = Sexec.Faults.spec ~rate:0.99 ~max_attempts:2 7 in
+  let engine = Sexec.Engine.create ~faults ~machines:6 catalog in
+  match Sexec.Engine.run engine plan with
+  | _ -> Alcotest.fail "expected Recovery_exhausted"
+  | exception Sexec.Scheduler.Recovery_exhausted { attempts; _ } ->
+      Alcotest.(check bool) "budget respected" true (attempts > 2)
+
 let () =
   Alcotest.run "exec"
     [
@@ -234,5 +372,17 @@ let () =
             test_machine_count_invariance;
           Alcotest.test_case "output order" `Quick test_outputs_in_script_order;
           Alcotest.test_case "deterministic runs" `Quick test_run_twice_same_result;
+        ] );
+      ( "staged faults",
+        [
+          Alcotest.test_case "stage graph shape" `Quick test_stage_graph_shape;
+          Alcotest.test_case "engine reuse resets" `Quick test_engine_reuse_resets;
+          Alcotest.test_case "builtins under faults" `Slow test_faults_builtins;
+          Alcotest.test_case "random scripts under faults" `Slow
+            test_faults_random_scripts;
+          Alcotest.test_case "large scripts under faults" `Slow
+            test_faults_large_scripts;
+          Alcotest.test_case "fault determinism" `Quick test_faults_deterministic;
+          Alcotest.test_case "recovery budget" `Quick test_faults_budget_exhaustion;
         ] );
     ]

@@ -78,6 +78,43 @@ let test_verification_catches_lies () =
   Alcotest.(check bool) "lie detected" true
     (engine.Sexec.Engine.prop_violations <> [])
 
+let test_verification_catches_missing_columns () =
+  (* regression: a claimed partition or sort column absent from the
+     delivered schema used to be skipped silently; it must be flagged *)
+  let catalog = Relalg.Catalog.default () in
+  let schema =
+    Relalg.Catalog.file_schema
+      (Option.get (Relalg.Catalog.find catalog "test.log"))
+  in
+  let stats = { Slogical.Stats.rows = 100.0; row_bytes = 8.0; ndvs = [] } in
+  let extract =
+    Sphys.Plan.make
+      ~op:(Sphys.Physop.P_extract { file = "test.log"; extractor = "L"; schema })
+      ~children:[] ~group:0 ~schema ~stats ~op_cost:1.0
+  in
+  let run_with props =
+    let lying = { extract with Sphys.Plan.props = props } in
+    let out =
+      Sphys.Plan.make
+        ~op:(Sphys.Physop.P_output { file = "o" })
+        ~children:[ lying ] ~group:1 ~schema ~stats ~op_cost:1.0
+    in
+    let engine = Sexec.Engine.create ~verify_props:true ~machines:7 catalog in
+    ignore (Sexec.Engine.run engine out);
+    engine.Sexec.Engine.prop_violations
+  in
+  Alcotest.(check bool) "phantom hash column detected" true
+    (run_with
+       (Sphys.Props.make
+          (Sphys.Partition.Hashed (Relalg.Colset.singleton "NO_SUCH_COL"))
+          [])
+    <> []);
+  Alcotest.(check bool) "phantom sort column detected" true
+    (run_with
+       (Sphys.Props.make Sphys.Partition.Roundrobin
+          [ ("NO_SUCH_COL", Sphys.Sortorder.Asc) ])
+    <> [])
+
 let test_verification_accepts_truth () =
   let catalog = Relalg.Catalog.default () in
   let r =
@@ -98,6 +135,8 @@ let () =
           Alcotest.test_case "random scripts" `Slow test_random_scripts;
           Alcotest.test_case "checker detects lies" `Quick
             test_verification_catches_lies;
+          Alcotest.test_case "checker detects phantom columns" `Quick
+            test_verification_catches_missing_columns;
           Alcotest.test_case "checker accepts truth" `Quick
             test_verification_accepts_truth;
         ] );
