@@ -1,0 +1,130 @@
+(* Baseline drift checker for BENCH_opt.json.
+
+   CI runs the quick bench on every push and compares the fresh JSON
+   against the committed baseline: the optimizer's *deterministic*
+   outputs — estimated plan costs and task counts — must match exactly
+   for every workload present in both files.  Wall times, heap figures
+   and anything else environment-dependent are exempt, so the check is
+   stable across machines while still catching a plan-quality or
+   search-effort regression the moment it lands.
+
+   The parser matches the writer in main.ml: flat records of numbers
+   keyed by "name", scanned with string search — no JSON dependency,
+   same as the writer.
+
+   Usage: compare BASELINE.json FRESH.json *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Split the workloads array into one chunk per record, keyed by its
+   "name" value. *)
+let records text =
+  let key = {|{"name": "|} in
+  let rec go acc from =
+    match
+      if from >= String.length text then None
+      else
+        let rec find i =
+          if i + String.length key > String.length text then None
+          else if String.sub text i (String.length key) = key then Some i
+          else find (i + 1)
+        in
+        find from
+    with
+    | None -> List.rev acc
+    | Some start ->
+        let name_start = start + String.length key in
+        let name_end = String.index_from text name_start '"' in
+        let name = String.sub text name_start (name_end - name_start) in
+        let chunk_end =
+          let rec find i =
+            if i + String.length key > String.length text then
+              String.length text
+            else if String.sub text i (String.length key) = key then i
+            else find (i + 1)
+          in
+          find (start + 1)
+        in
+        go ((name, String.sub text start (chunk_end - start)) :: acc) chunk_end
+  in
+  go [] 0
+
+(* Value of "field": NUMBER inside a record chunk. *)
+let field chunk name =
+  let key = Printf.sprintf "\"%s\": " name in
+  let rec find i =
+    if i + String.length key > String.length chunk then None
+    else if String.sub chunk i (String.length key) = key then
+      Some (i + String.length key)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length chunk
+        &&
+        match chunk.[!stop] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub chunk start (!stop - start))
+
+(* The deterministic fields: identical runs of the same code must agree
+   exactly.  Costs are doubles printed with %.17g (round-trip exact);
+   tasks and rounds are integers. *)
+let checked_fields =
+  [ "conv_cost"; "cse_cost"; "conv_tasks"; "cse_tasks"; "rounds_executed" ]
+
+let () =
+  (match Sys.argv with
+  | [| _; _; _ |] -> ()
+  | _ ->
+      prerr_endline "usage: compare BASELINE.json FRESH.json";
+      exit 2);
+  let baseline = records (read_file Sys.argv.(1)) in
+  let fresh = records (read_file Sys.argv.(2)) in
+  let drift = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, fresh_chunk) ->
+      match List.assoc_opt name baseline with
+      | None -> Printf.printf "%-5s not in baseline, skipped\n" name
+      | Some base_chunk ->
+          incr compared;
+          List.iter
+            (fun f ->
+              match (field base_chunk f, field fresh_chunk f) with
+              | Some b, Some v when b <> v ->
+                  incr drift;
+                  Printf.printf "%-5s %s drifted: baseline %.17g, now %.17g\n"
+                    name f b v
+              | Some _, Some _ -> ()
+              | None, _ ->
+                  (* field added after the baseline was committed *)
+                  ()
+              | _, None ->
+                  incr drift;
+                  Printf.printf "%-5s %s missing from fresh run\n" name f)
+            checked_fields)
+    fresh;
+  if !compared = 0 then begin
+    print_endline "no workloads in common: nothing compared";
+    exit 2
+  end;
+  if !drift = 0 then
+    Printf.printf "baseline match: %d workload(s), %d field(s) each\n"
+      !compared
+      (List.length checked_fields)
+  else begin
+    Printf.printf "%d drift(s) against the committed baseline\n" !drift;
+    exit 1
+  end

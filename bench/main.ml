@@ -411,6 +411,74 @@ let faults reports =
     "(every faulty run validated against the reference and byte-identical to \
      the fault-free run)@."
 
+(* --- exec-time: domain-parallel stage execution --------------------------- *)
+
+(* Measured execution wall times of the CSE plan at one worker and at
+   [workers] domains, plus the modeled makespan: the workers=1 run's
+   per-stage durations replayed through the scheduler's own fault-free
+   wave schedule with greedy placement on N slots.  On a host with fewer
+   cores than the pool has domains the measured parallel wall time
+   cannot improve (the domains timeshare one core), so the model is the
+   honest projection of the wave schedule's speedup — it uses real
+   measured stage durations and the real dependency structure. *)
+type exec_times = {
+  e_stages : int;
+  e_width : int;  (* max stages per depth level: available parallelism *)
+  e_wall1 : float;  (* measured, workers = 1, min of 3 reps *)
+  e_walln : float;  (* measured, workers = n, min of 3 reps *)
+  e_model1 : float;  (* modeled makespan on 1 slot = sum of stage times *)
+  e_modeln : float;  (* modeled makespan on n slots *)
+}
+
+let exec_times ~workers (w : prepared) (r : Cse.Pipeline.report) =
+  let plan = r.Cse.Pipeline.cse_plan in
+  let graph = Sexec.Stage.build plan in
+  let measure wk =
+    let best_wall = ref infinity and best_seconds = ref [||] in
+    for _ = 1 to 3 do
+      let engine = Sexec.Engine.create ~workers:wk ~machines:25 w.catalog in
+      ignore (Sexec.Engine.run engine plan);
+      if engine.Sexec.Engine.last_wall < !best_wall then begin
+        best_wall := engine.Sexec.Engine.last_wall;
+        best_seconds := engine.Sexec.Engine.last_seconds
+      end
+    done;
+    (!best_wall, !best_seconds)
+  in
+  let wall1, seconds = measure 1 in
+  let walln, _ = measure workers in
+  {
+    e_stages = Sexec.Stage.size graph;
+    e_width = Sexec.Stage.width graph;
+    e_wall1 = wall1;
+    e_walln = walln;
+    e_model1 = Sexec.Scheduler.modeled_makespan ~workers:1 ~seconds graph;
+    e_modeln = Sexec.Scheduler.modeled_makespan ~workers ~seconds graph;
+  }
+
+let exec_time ~workers reports =
+  section
+    (Printf.sprintf
+       "exec-time: domain-parallel stage execution (workers=%d, CSE plan, 25 \
+        machines)"
+       workers);
+  Fmt.pr "%-5s %7s %6s %10s %10s %11s %11s %8s@." "name" "stages" "width"
+    "wall(1)" (Printf.sprintf "wall(%d)" workers) "model(1)"
+    (Printf.sprintf "model(%d)" workers) "speedup";
+  List.iter
+    (fun (w, r) ->
+      let e = exec_times ~workers w r in
+      Fmt.pr "%-5s %7d %6d %9.2fms %9.2fms %10.2fms %10.2fms %7.2fx@." w.name
+        e.e_stages e.e_width (1000.0 *. e.e_wall1) (1000.0 *. e.e_walln)
+        (1000.0 *. e.e_model1) (1000.0 *. e.e_modeln)
+        (e.e_model1 /. Float.max 1e-9 e.e_modeln))
+    reports;
+  Fmt.pr
+    "(speedup is the modeled wave-schedule makespan ratio from measured \
+     stage durations; measured wall(%d) only beats wall(1) when the host \
+     has that many cores)@."
+    workers
+
 (* --- opt-time via bechamel ----------------------------------------------- *)
 
 let measure_seconds name f =
@@ -479,12 +547,14 @@ type opt_record = {
   cse_time : float;
   report : Cse.Pipeline.report;
   top_heap_words : int;
+  exec : exec_times;
+  exec_workers : int;
 }
 
 (* Counters and memo figures come from the first rep (later reps re-use
    the globally interned requirements, so their intern.misses would read
    near zero); times are the min across reps. *)
-let bench_opt_record (w : prepared) =
+let bench_opt_record ~workers (w : prepared) =
   let first = run_pipeline ~audit:false w in
   let conv_time = ref first.Cse.Pipeline.conventional_time in
   let cse_time = ref first.Cse.Pipeline.cse_time in
@@ -499,6 +569,8 @@ let bench_opt_record (w : prepared) =
     cse_time = !cse_time;
     report = first;
     top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    exec = exec_times ~workers w first;
+    exec_workers = workers;
   }
 
 let json_of_record (o : opt_record) =
@@ -524,6 +596,20 @@ let json_of_record (o : opt_record) =
         (counter "intern.hits") (counter "intern.misses");
       Printf.sprintf "     \"rounds_executed\": %d, \"top_heap_words\": %d,\n"
         r.Cse.Pipeline.rounds_executed o.top_heap_words;
+      (* execution timing: measured wall at workers=1 and workers=N, and
+         the modeled wave-schedule makespans the speedup figure comes
+         from (wall times are environment-dependent; the drift checker
+         exempts them) *)
+      Printf.sprintf "     \"stages\": %d, \"stage_width\": %d, \"exec_workers\": %d,\n"
+        o.exec.e_stages o.exec.e_width o.exec_workers;
+      Printf.sprintf
+        "     \"exec_wall_w1_s\": %.6f, \"exec_wall_wN_s\": %.6f,\n"
+        o.exec.e_wall1 o.exec.e_walln;
+      Printf.sprintf
+        "     \"exec_modeled_w1_s\": %.6f, \"exec_modeled_wN_s\": %.6f, \
+         \"exec_modeled_speedup\": %.2f,\n"
+        o.exec.e_model1 o.exec.e_modeln
+        (o.exec.e_model1 /. Float.max 1e-9 o.exec.e_modeln);
       Printf.sprintf
         "     \"conv_cost\": %.17g, \"cse_cost\": %.17g, \
          \"reduction_percent\": %.2f}"
@@ -531,8 +617,10 @@ let json_of_record (o : opt_record) =
         (Cse.Pipeline.reduction_percent r);
     ]
 
-let bench_json ~quick path =
-  let records = List.map bench_opt_record (json_workloads ~quick) in
+let bench_json ~quick ~workers path =
+  let records =
+    List.map (bench_opt_record ~workers) (json_workloads ~quick)
+  in
   let oc = open_out path in
   output_string oc "{\n  \"schema\": \"scopecse-bench-opt/1\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n  \"workloads\": [\n" quick;
@@ -550,6 +638,16 @@ let bench_json ~quick path =
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
+  let workers =
+    let rec find = function
+      | "--workers" :: n :: _ -> ( match int_of_string_opt n with
+          | Some n when n >= 1 -> n
+          | _ -> 4)
+      | _ :: tl -> find tl
+      | [] -> 4
+    in
+    find argv
+  in
   match argv with
   | _ :: rest when List.mem "--json" rest ->
       let path =
@@ -561,7 +659,7 @@ let () =
         in
         Option.value ~default:"BENCH_opt.json" (after rest)
       in
-      bench_json ~quick path
+      bench_json ~quick ~workers path
   | _ ->
   let t0 = Unix.gettimeofday () in
   let reports = List.map (fun w -> (w, run_pipeline w)) (workloads ()) in
@@ -579,5 +677,6 @@ let () =
   sweep_depth ();
   measured reports;
   faults reports;
+  exec_time ~workers reports;
   opt_time ();
   Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0)

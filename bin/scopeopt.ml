@@ -105,6 +105,16 @@ let rate_arg =
           "Per-stage-completion fault probability for --inject-faults, in \
            [0, 1).")
 
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers"; "j" ] ~docv:"N"
+        ~doc:
+          "Executor domain-pool width for $(b,run): independent stages and \
+           per-machine vertex loops execute on $(docv) OCaml domains.  \
+           Outputs and fault/retry counters are identical for every value; \
+           only wall time changes.")
+
 let audit_arg =
   Arg.(
     value & flag
@@ -187,8 +197,15 @@ let exec_counters (c : Sexec.Engine.counters) =
     ("exec.machines_failed", c.Sexec.Engine.machines_failed);
   ]
 
+let exec_summary workers (v : Sexec.Validate.outcome) =
+  {
+    Cse.Pipeline.workers;
+    wall_s = v.Sexec.Validate.wall;
+    busy_s = v.Sexec.Validate.busy;
+  }
+
 let optimize run_exec =
-  let f machines budget no_ext verbose audit dot inject rate script =
+  let f machines budget no_ext verbose audit dot inject rate workers script =
     setup_logs verbose;
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
@@ -228,7 +245,7 @@ let optimize run_exec =
       if not run_exec then Ok ()
       else begin
         let v =
-          Sexec.Validate.check ~verify_props:true ~machines catalog
+          Sexec.Validate.check ~verify_props:true ~workers ~machines catalog
             r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
         in
         Fmt.pr
@@ -244,6 +261,7 @@ let optimize run_exec =
         Fmt.pr "staged: %d stage(s), %d vertex executions@."
           v.Sexec.Validate.counters.Sexec.Engine.stages_run
           v.Sexec.Validate.counters.Sexec.Engine.vertices_run;
+        Fmt.pr "%a" Cse.Pipeline.pp_exec (exec_summary workers v);
         List.iter (fun m -> Fmt.pr "  %s@." m) v.Sexec.Validate.mismatches;
         let injected =
           match inject with
@@ -253,8 +271,9 @@ let optimize run_exec =
               | exception Invalid_argument msg -> Error (`Msg msg)
               | faults ->
                   let vf =
-                    Sexec.Validate.check ~verify_props:true ~faults ~machines
-                      catalog r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+                    Sexec.Validate.check ~verify_props:true ~faults ~workers
+                      ~machines catalog r.Cse.Pipeline.dag
+                      r.Cse.Pipeline.cse_plan
                   in
                   let identical =
                     Sexec.Validate.identical_outputs v.Sexec.Validate.outputs
@@ -293,10 +312,11 @@ let optimize run_exec =
   in
   Term.(
     term_result
-      (const (fun m b e v a d i p file builtin ->
-           Result.bind (read_script file builtin) (f m b e v a d i p))
+      (const (fun m b e v a d i p w file builtin ->
+           Result.bind (read_script file builtin) (f m b e v a d i p w))
       $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ audit_arg
-      $ dot_arg $ inject_arg $ rate_arg $ file_arg $ builtin_arg))
+      $ dot_arg $ inject_arg $ rate_arg $ workers_arg $ file_arg
+      $ builtin_arg))
 
 let optimize_cmd =
   Cmd.v

@@ -49,6 +49,7 @@ let catalog =
     ("SA041", Error, "stage interior diverges from its recorded dependencies");
     ("SA042", Warning, "non-spool subtree shared across stage references");
     ("SA043", Error, "OUTPUT or SEQUENCE outside the sink stage");
+    ("SA044", Error, "stage not reachable from the sink through dependencies");
   ]
 
 let default_severity code =

@@ -144,11 +144,45 @@ let sink_diags (g : Stage.graph) =
     g.Stage.stages;
   List.rev !diags
 
+(* SA044: every stage must be a transitive dependency of the sink.  The
+   parallel wave scheduler's guarantees lean on this: demand closure from
+   never-run stages covers the whole graph, and the sink is only ready
+   once everything else has executed — which is what confines OUTPUT
+   effects to a wave of its own.  An orphan stage would execute (the
+   scheduler runs every stage at least once) but nothing downstream could
+   ever read it, so it is compiler breakage, not sharing. *)
+let reach_diags (g : Stage.graph) =
+  let n = Array.length g.Stage.stages in
+  if n = 0 || g.Stage.sink < 0 || g.Stage.sink >= n then []
+  else begin
+    let reachable = Array.make n false in
+    let rec visit sid =
+      if not reachable.(sid) then begin
+        reachable.(sid) <- true;
+        List.iter
+          (fun (_, dep) -> if dep >= 0 && dep < n then visit dep)
+          g.Stage.stages.(sid).Stage.deps
+      end
+    in
+    visit g.Stage.sink;
+    let diags = ref [] in
+    Array.iteri
+      (fun sid r ->
+        if not r then
+          diags :=
+            Diag.make ~code:"SA044" ~loc:(Diag.Node sid)
+              (Printf.sprintf "stage %d is not reachable from sink %d" sid
+                 g.Stage.sink)
+            :: !diags)
+      reachable;
+    List.rev !diags
+  end
+
 let check_graph ?(expect_spooled_sharing = true) (plan : Plan.t)
     (g : Stage.graph) : Diag.t list =
   topo_diags plan g @ deps_diags g
   @ (if expect_spooled_sharing then sharing_diags g else [])
-  @ sink_diags g
+  @ sink_diags g @ reach_diags g
 
 let run ?expect_spooled_sharing (plan : Plan.t) : Diag.t list =
   check_graph ?expect_spooled_sharing plan (Stage.build plan)

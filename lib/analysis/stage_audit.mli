@@ -1,11 +1,13 @@
-(** Stage-graph auditor (SA040-SA043).
+(** Stage-graph auditor (SA040-SA044).
 
     Re-derives the staged executor's structural invariants from the plan,
     independently of {!Sexec.Stage.build}: topological stage ids (SA040),
     dependency lists matching the interior's left-to-right boundary walk
-    (SA041), physical sharing flowing through spools only (SA042, warning)
-    and OUTPUT / SEQUENCE confined to the sink stage (SA043).  Stage
-    locations are reported as [Diag.Node] of the stage id. *)
+    (SA041), physical sharing flowing through spools only (SA042, warning),
+    OUTPUT / SEQUENCE confined to the sink stage (SA043), and every stage
+    a transitive dependency of the sink (SA044) — the invariant the
+    parallel wave scheduler's demand closure and sink-isolation rest on.
+    Stage locations are reported as [Diag.Node] of the stage id. *)
 
 (** Audit an already-built stage graph against its plan.  With
     [~expect_spooled_sharing:false] (the conventional baseline, which

@@ -46,6 +46,29 @@ let pp_counters ppf (counters : (string * int) list) =
     (String.concat "; "
        (List.map (fun (n, v) -> Fmt.str "%s=%d" n v) counters))
 
+(* Plain execution-summary data: this module cannot depend on the
+   executor (cse sits below sexec in the library order), so callers that
+   run plans hand the figures over and share one output format. *)
+type exec_summary = {
+  workers : int;  (* executor domain-pool width *)
+  wall_s : float;  (* execution wall-clock seconds *)
+  busy_s : float array;  (* per-worker seconds spent executing *)
+}
+
+let pp_exec ppf (e : exec_summary) =
+  let busy_total = Array.fold_left ( +. ) 0.0 e.busy_s in
+  let util =
+    if e.wall_s > 0.0 && Array.length e.busy_s > 0 then
+      100.0 *. busy_total /. (e.wall_s *. float_of_int (Array.length e.busy_s))
+    else 0.0
+  in
+  Fmt.pf ppf "exec: workers=%d wall=%.2fms busy=[%s] util=%.0f%%@." e.workers
+    (1000.0 *. e.wall_s)
+    (String.concat " "
+       (Array.to_list
+          (Array.map (fun b -> Fmt.str "%.2fms" (1000.0 *. b)) e.busy_s)))
+    util
+
 (* Narrative of the four optimization steps (Figure 2 of the paper), for
    the CLI's explain output and for humans reading test failures. *)
 let pp_steps ppf (r : report) =

@@ -42,6 +42,18 @@ type report = {
 (** Named-counter deltas as one "counters: name=value; ..." line. *)
 val pp_counters : (string * int) list Fmt.t
 
+(** Execution summary handed over by callers that run plans (this module
+    does not depend on the executor): domain-pool width, execution wall
+    seconds, and per-worker busy seconds. *)
+type exec_summary = {
+  workers : int;
+  wall_s : float;
+  busy_s : float array;
+}
+
+(** One "exec: workers=N wall=..ms busy=[..] util=..%" line. *)
+val pp_exec : exec_summary Fmt.t
+
 (** Narrative of the four optimization steps (Figure 2 of the paper). *)
 val pp_steps : report Fmt.t
 

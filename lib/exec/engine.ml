@@ -1,7 +1,8 @@
 open Relalg
 open Sphys
 
-(* Simulated distributed execution of physical plans, staged.
+(* Simulated distributed execution of physical plans, staged and
+   domain-parallel.
 
    A stream is an array of per-machine row lists.  Exchanges move rows
    between machines using a *commutative* per-row hash over the partition
@@ -11,12 +12,24 @@ open Sphys
 
    Execution is staged, SCOPE/Dryad style: [Stage.build] cuts the plan at
    exchange / merge-exchange / gather / spool boundaries, and [Scheduler]
-   runs the stages bottom-up, caching each stage's output for its
-   consumers.  With fault injection enabled ([Faults]), cached partitions
-   can be lost between stages and are recovered by recomputing the
-   producing stage.  Counters record rows shuffled and extracted, spool
-   executions and reads, and the scheduler's stage / retry accounting;
-   [Validate] compares every output against the reference evaluator. *)
+   runs the stages bottom-up in deterministic waves, caching each stage's
+   output for its consumers.  With [workers > 1] a fixed pool of OCaml 5
+   domains executes independent stages of a wave concurrently, and the
+   per-machine vertex loops inside a stage (joins, partition maps, the
+   routing phase of exchanges) fan out across the same pool.  Outputs are
+   byte-identical at every worker count: parallel loops write disjoint
+   slots, and everything order-sensitive happens at the scheduler's
+   commit barriers.
+
+   Counter discipline under parallelism: each stage execution accumulates
+   its stream counters (rows shuffled / extracted, spool traffic) in a
+   private [tally], merged into the engine's totals under a mutex when
+   the stage finishes — addition commutes, so totals are deterministic.
+   Property violations go to a per-stage slot (one writer each) and are
+   flattened in stage-id order after the run.  With fault injection
+   ([Faults]), cached partitions can be lost between stages and are
+   recovered by recomputing the producing stage; [Validate] compares
+   every output against the reference evaluator. *)
 
 type dist = { schema : Schema.t; parts : Value.t array list array }
 
@@ -35,11 +48,13 @@ type counters = {
 
 type t = {
   machines : int;
+  workers : int;  (* domain-pool width; 1 = fully sequential *)
   catalog : Catalog.t;
   datagen : Datagen.config;
   (* when set, every run draws deterministic fault events from this spec *)
   faults : Faults.spec option;
   counters : counters;
+  mu : Mutex.t;  (* guards [counters] merges from worker domains *)
   mutable outputs_rev : (string * Table.t) list;
   (* when set, every operator's *claimed* delivered properties are checked
      against the rows it actually produced *)
@@ -47,6 +62,12 @@ type t = {
   mutable prop_violations : string list;
   (* per-stage execution counts of the most recent [execute] *)
   mutable last_attempts : int array;
+  (* per-stage wall seconds of the most recent [execute] *)
+  mutable last_seconds : float array;
+  (* execution wall seconds of the most recent [execute] *)
+  mutable last_wall : float;
+  (* per-worker busy seconds of the most recent [execute] *)
+  mutable last_busy : float array;
 }
 
 let c_stages = Sutil.Counters.counter "exec.stages_run"
@@ -55,11 +76,13 @@ let c_retries = Sutil.Counters.counter "exec.retries"
 let c_recomputed = Sutil.Counters.counter "exec.recomputed_rows"
 let c_partitions_lost = Sutil.Counters.counter "exec.partitions_lost"
 let c_machines_failed = Sutil.Counters.counter "exec.machines_failed"
+let c_wall_us = Sutil.Counters.counter "exec.wall_us"
 
 let create ?(datagen = Datagen.default) ?(verify_props = false) ?faults
-    ~machines catalog =
+    ?(workers = 1) ~machines catalog =
   {
     machines;
+    workers = max 1 workers;
     catalog;
     datagen;
     faults;
@@ -76,23 +99,58 @@ let create ?(datagen = Datagen.default) ?(verify_props = false) ?faults
         partitions_lost = 0;
         machines_failed = 0;
       };
+    mu = Mutex.create ();
     outputs_rev = [];
     verify_props;
     prop_violations = [];
     last_attempts = [||];
+    last_seconds = [||];
+    last_wall = 0.0;
+    last_busy = [||];
   }
 
 let empty_parts t = Array.make t.machines []
 
+(* One stage execution's private stream counters; merged into the shared
+   totals under the engine mutex when the stage finishes, so worker
+   domains never race on [counters] and the totals (sums) are identical
+   at every worker count. *)
+type tally = {
+  mutable t_shuffled : int;
+  mutable t_extracted : int;
+  mutable t_spool_exec : int;
+  mutable t_spool_reads : int;
+}
+
+let fresh_tally () =
+  { t_shuffled = 0; t_extracted = 0; t_spool_exec = 0; t_spool_reads = 0 }
+
+let merge_tally t (y : tally) =
+  Mutex.protect t.mu (fun () ->
+      let c = t.counters in
+      c.rows_shuffled <- c.rows_shuffled + y.t_shuffled;
+      c.rows_extracted <- c.rows_extracted + y.t_extracted;
+      c.spool_executions <- c.spool_executions + y.t_spool_exec;
+      c.spool_reads <- c.spool_reads + y.t_spool_reads)
+
 (* Commutative hash of the values of [cols]: the sum of per-value hashes,
    so the machine assignment does not depend on column order. *)
-let route t (schema : Schema.t) (cols : Colset.t) (row : Value.t array) =
+let route ~machines (schema : Schema.t) (cols : Colset.t)
+    (row : Value.t array) =
   let idxs = List.map (fun c -> Schema.index c schema) (Colset.to_list cols) in
   let h = List.fold_left (fun acc i -> acc + Value.hash row.(i)) 17 idxs in
-  (h land max_int) mod t.machines
+  (h land max_int) mod machines
 
-let map_parts f (d : dist) schema' =
-  { schema = schema'; parts = Array.map f d.parts }
+(* Per-partition map across the pool: slot [m] is written only by the
+   task that evaluated partition [m], so the result is schedule
+   independent. *)
+let map_parts pool f (d : dist) schema' =
+  {
+    schema = schema';
+    parts =
+      Sutil.Pool.parallel_init pool (Array.length d.parts) (fun m ->
+          f d.parts.(m));
+  }
 
 let sort_rows (schema : Schema.t) (order : Sortorder.t) rows =
   let idxs =
@@ -138,19 +196,42 @@ let stream_agg (schema : Schema.t) ~keys ~(aggs : Agg.t list) rows =
   (match !current with Some (k0, states) -> flush k0 states | None -> ());
   List.rev !out
 
+(* Two-phase exchange: each input partition is routed into per-machine
+   buckets in parallel (rows keep their within-partition order), then
+   each output machine concatenates its buckets in input-partition order
+   — exactly the arrival order the sequential single-pass version
+   produced, at every worker count. *)
+let exchange_on pool ~machines (tally : tally) (d : dist) cols =
+  let nsrc = Array.length d.parts in
+  let buckets =
+    Sutil.Pool.parallel_init pool nsrc (fun src ->
+        let local = Array.make machines [] in
+        List.iter
+          (fun row ->
+            let m = route ~machines d.schema cols row in
+            local.(m) <- row :: local.(m))
+          d.parts.(src);
+        Array.map List.rev local)
+  in
+  tally.t_shuffled <-
+    tally.t_shuffled
+    + Array.fold_left (fun acc p -> acc + List.length p) 0 d.parts;
+  let parts =
+    Array.init machines (fun dst ->
+        List.concat (List.init nsrc (fun src -> buckets.(src).(dst))))
+  in
+  { schema = d.schema; parts }
+
+(* Sequential convenience wrapper kept for tests and examples; merges the
+   shuffle count straight into the engine totals. *)
 let exchange t (d : dist) cols =
-  let parts = empty_parts t in
-  Array.iter
-    (fun rows ->
-      List.iter
-        (fun row ->
-          let m = route t d.schema cols row in
-          t.counters.rows_shuffled <- t.counters.rows_shuffled + 1;
-          parts.(m) <- row :: parts.(m))
-        rows)
-    d.parts;
-  (* restore arrival order per machine *)
-  { schema = d.schema; parts = Array.map List.rev parts }
+  let tally = fresh_tally () in
+  let d' =
+    Sutil.Pool.with_pool ~workers:1 (fun pool ->
+        exchange_on pool ~machines:t.machines tally d cols)
+  in
+  merge_tally t tally;
+  d'
 
 let pred_of_pairs pairs residual =
   let eqs =
@@ -167,11 +248,11 @@ let pred_of_pairs pairs residual =
    rows it actually produced: a [Serial] stream occupies one machine, a
    [Hashed s] stream co-locates every s-tuple, and each partition is sorted
    per the claimed order.  A claimed partition or sort column that the
-   delivered schema does not even contain is itself a violation. *)
-let check_delivered t (n : Plan.t) (d : dist) =
-  let violation fmt =
-    Fmt.kstr (fun m -> t.prop_violations <- m :: t.prop_violations) fmt
-  in
+   delivered schema does not even contain is itself a violation.
+   Violations accumulate in [viols], newest first — one ref per stage
+   execution, so concurrent stages never interleave their reports. *)
+let check_delivered viols (n : Plan.t) (d : dist) =
+  let violation fmt = Fmt.kstr (fun m -> viols := m :: !viols) fmt in
   let where = Physop.to_string n.Plan.op in
   (match n.Plan.props.Props.part with
   | Partition.Roundrobin -> ()
@@ -247,12 +328,21 @@ let check_delivered t (n : Plan.t) (d : dist) =
    output through [read].  Physical identity is asserted at every
    consumption, so a compiler/evaluator walk divergence fails fast instead
    of silently wiring a stage to the wrong input.  Boundary operators
-   appear in [eval_op] only as stage roots. *)
-let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
+   appear in [eval_op] only as stage roots.
+
+   May run on any worker domain, concurrently with other stages: shared
+   engine state is read-only here, stream counters go to the caller's
+   [tally], violations to the caller's [viols], and the per-machine loops
+   below fan out through [pool] writing disjoint slots.  The only
+   exception is [outputs_rev], written by OUTPUT operators — those are
+   confined to the sink stage, which the scheduler always runs in a wave
+   of its own (every other stage is one of its transitive dependencies). *)
+let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
+    dist =
   let deps = ref st.Stage.deps in
   let rec eval (n : Plan.t) : dist =
     let d = eval_op n in
-    if t.verify_props then check_delivered t n d;
+    if t.verify_props then check_delivered viols n d;
     d
   and eval_child (c : Plan.t) : dist =
     if Stage.boundary c then
@@ -260,8 +350,7 @@ let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
       | (b, sid) :: rest when b == c ->
           deps := rest;
           (match c.Plan.op with
-          | Physop.P_spool ->
-              t.counters.spool_reads <- t.counters.spool_reads + 1
+          | Physop.P_spool -> tally.t_spool_reads <- tally.t_spool_reads + 1
           | _ -> ());
           read sid
       | _ -> invalid_arg "Engine: stage dependency consumed out of order"
@@ -273,8 +362,7 @@ let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
         let table =
           Datagen.table ~config:t.datagen t.catalog ~file ~schema:fschema
         in
-        t.counters.rows_extracted <-
-          t.counters.rows_extracted + Table.cardinality table;
+        tally.t_extracted <- tally.t_extracted + Table.cardinality table;
         let parts = empty_parts t in
         List.iteri
           (fun i row ->
@@ -284,25 +372,25 @@ let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
         { schema = fschema; parts = Array.map List.rev parts }
     | Physop.P_filter { pred } ->
         let d = eval_child (List.hd n.Plan.children) in
-        map_parts
+        map_parts pool
           (List.filter (fun row -> Expr.eval_pred d.schema row pred))
           d schema
     | Physop.P_project { items } ->
         let d = eval_child (List.hd n.Plan.children) in
-        map_parts
+        map_parts pool
           (List.map (fun row ->
                Array.of_list
                  (List.map (fun (e, _) -> Expr.eval d.schema row e) items)))
           d schema
     | Physop.P_sort { order } ->
         let d = eval_child (List.hd n.Plan.children) in
-        map_parts (sort_rows d.schema order) d schema
+        map_parts pool (sort_rows d.schema order) d schema
     | Physop.P_stream_agg { keys; aggs; scope = _ } ->
         let d = eval_child (List.hd n.Plan.children) in
-        map_parts (stream_agg d.schema ~keys ~aggs) d schema
+        map_parts pool (stream_agg d.schema ~keys ~aggs) d schema
     | Physop.P_hash_agg { keys; aggs; scope = _ } ->
         let d = eval_child (List.hd n.Plan.children) in
-        map_parts
+        map_parts pool
           (fun rows ->
             (Table.group_by (Table.make d.schema rows) ~keys ~aggs).Table.rows)
           d schema
@@ -315,19 +403,18 @@ let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
             let l = eval_child lc in
             let r = eval_child rc in
             let pred = pred_of_pairs pairs residual in
-            let parts = empty_parts t in
-            for m = 0 to t.machines - 1 do
-              let joined =
-                Table.join ~kind:
-                  (match kind with
-                  | Slogical.Logop.Inner -> `Inner
-                  | Slogical.Logop.Left_outer -> `Left_outer)
-                  (Table.make l.schema l.parts.(m))
-                  (Table.make r.schema r.parts.(m))
-                  pred
-              in
-              parts.(m) <- joined.Table.rows
-            done;
+            let parts =
+              Sutil.Pool.parallel_init pool t.machines (fun m ->
+                  (Table.join
+                     ~kind:
+                       (match kind with
+                       | Slogical.Logop.Inner -> `Inner
+                       | Slogical.Logop.Left_outer -> `Left_outer)
+                     (Table.make l.schema l.parts.(m))
+                     (Table.make r.schema r.parts.(m))
+                     pred)
+                    .Table.rows)
+            in
             { schema; parts }
         | _ -> invalid_arg "Engine: join expects two children")
     | Physop.P_union_all -> (
@@ -344,7 +431,7 @@ let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
     | Physop.P_spool ->
         (* stage root: materialize once; consumers read through the
            scheduler cache and count spool_reads at their boundary *)
-        t.counters.spool_executions <- t.counters.spool_executions + 1;
+        tally.t_spool_exec <- tally.t_spool_exec + 1;
         eval_child (List.hd n.Plan.children)
     | Physop.P_output { file } ->
         if not is_sink then
@@ -358,13 +445,13 @@ let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
         { schema = []; parts = empty_parts t }
     | Physop.P_exchange { cols } ->
         let d = eval_child (List.hd n.Plan.children) in
-        exchange t d cols
+        exchange_on pool ~machines:t.machines tally d cols
     | Physop.P_merge_exchange { cols } ->
         let d = eval_child (List.hd n.Plan.children) in
         let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
-        let ex = exchange t d cols in
+        let ex = exchange_on pool ~machines:t.machines tally d cols in
         (* merge the sorted runs: re-sorting each partition is equivalent *)
-        map_parts (sort_rows ex.schema child_sort) ex ex.schema
+        map_parts pool (sort_rows ex.schema child_sort) ex ex.schema
     | Physop.P_gather ->
         let d = eval_child (List.hd n.Plan.children) in
         let all = Array.to_list d.parts |> List.concat in
@@ -375,7 +462,7 @@ let execute_stage t ~is_sink (st : Stage.stage) ~read : dist =
         in
         let parts = empty_parts t in
         parts.(0) <- all;
-        t.counters.rows_shuffled <- t.counters.rows_shuffled + List.length all;
+        tally.t_shuffled <- tally.t_shuffled + List.length all;
         { schema = d.schema; parts }
   in
   let d = eval st.Stage.root in
@@ -397,12 +484,36 @@ let execute t (plan : Plan.t) : dist =
     | Some s -> s.Faults.max_attempts
     | None -> Faults.default_attempts
   in
+  (* one violation slot per stage: each execution appends only to its own
+     stage's slot, flattened in stage-id order below — a deterministic
+     report at every worker count *)
+  let viol_slots = Array.make (Stage.size graph) [] in
+  let t0 = Unix.gettimeofday () in
   let outcome =
-    Scheduler.run ~machines:t.machines ?faults ~max_attempts
-      ~execute:(fun st ~read ->
-        execute_stage t ~is_sink:(st.Stage.id = graph.Stage.sink) st ~read)
-      ~rows:dist_rows graph
+    Sutil.Pool.with_pool ~workers:t.workers (fun pool ->
+        let outcome =
+          Scheduler.run ~machines:t.machines ~pool ?faults ~max_attempts
+            ~execute:(fun st ~read ->
+              let tally = fresh_tally () in
+              let viols = ref [] in
+              let d =
+                execute_stage t ~pool ~tally ~viols
+                  ~is_sink:(st.Stage.id = graph.Stage.sink)
+                  st ~read
+              in
+              let sid = st.Stage.id in
+              viol_slots.(sid) <- viol_slots.(sid) @ List.rev !viols;
+              merge_tally t tally;
+              d)
+            ~rows:dist_rows graph
+        in
+        t.last_busy <- Sutil.Pool.busy_seconds pool;
+        outcome)
   in
+  t.last_wall <- Unix.gettimeofday () -. t0;
+  t.prop_violations <-
+    t.prop_violations
+    @ List.concat (Array.to_list viol_slots);
   let m = outcome.Scheduler.metrics in
   let c = t.counters in
   c.stages_run <- c.stages_run + m.Scheduler.stages_run;
@@ -411,13 +522,16 @@ let execute t (plan : Plan.t) : dist =
   c.recomputed_rows <- c.recomputed_rows + m.Scheduler.recomputed_rows;
   c.partitions_lost <- c.partitions_lost + m.Scheduler.partitions_lost;
   c.machines_failed <- c.machines_failed + m.Scheduler.machines_failed;
-  c_stages := !c_stages + m.Scheduler.stages_run;
-  c_vertices := !c_vertices + m.Scheduler.vertices_run;
-  c_retries := !c_retries + m.Scheduler.retries;
-  c_recomputed := !c_recomputed + m.Scheduler.recomputed_rows;
-  c_partitions_lost := !c_partitions_lost + m.Scheduler.partitions_lost;
-  c_machines_failed := !c_machines_failed + m.Scheduler.machines_failed;
+  Sutil.Counters.bump c_stages m.Scheduler.stages_run;
+  Sutil.Counters.bump c_vertices m.Scheduler.vertices_run;
+  Sutil.Counters.bump c_retries m.Scheduler.retries;
+  Sutil.Counters.bump c_recomputed m.Scheduler.recomputed_rows;
+  Sutil.Counters.bump c_partitions_lost m.Scheduler.partitions_lost;
+  Sutil.Counters.bump c_machines_failed m.Scheduler.machines_failed;
+  Sutil.Counters.bump c_wall_us
+    (int_of_float (t.last_wall *. 1_000_000.0));
   t.last_attempts <- outcome.Scheduler.attempts;
+  t.last_seconds <- outcome.Scheduler.seconds;
   outcome.Scheduler.result
 
 (* Run a root plan; returns the outputs in OUTPUT order.  Every per-run
@@ -427,6 +541,9 @@ let run t (plan : Plan.t) : (string * Table.t) list =
   t.outputs_rev <- [];
   t.prop_violations <- [];
   t.last_attempts <- [||];
+  t.last_seconds <- [||];
+  t.last_wall <- 0.0;
+  t.last_busy <- [||];
   let c = t.counters in
   c.rows_shuffled <- 0;
   c.rows_extracted <- 0;

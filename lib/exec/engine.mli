@@ -1,4 +1,5 @@
-(** Simulated distributed execution of physical plans, staged.
+(** Simulated distributed execution of physical plans, staged and
+    domain-parallel.
 
     A stream is an array of per-machine row lists. Exchanges move rows with
     a commutative per-row hash over the partition columns, so inputs
@@ -6,9 +7,13 @@
 
     Execution is staged, SCOPE/Dryad style: {!Stage.build} cuts the plan
     at exchange / merge-exchange / gather / spool boundaries and
-    {!Scheduler.run} executes the stages bottom-up, caching each stage's
-    output for its consumers — a spooled subexpression runs once however
-    many consumers read it. With a fault {!Faults.spec} installed, cached
+    {!Scheduler.run} executes the stages bottom-up in deterministic
+    waves, caching each stage's output for its consumers — a spooled
+    subexpression runs once however many consumers read it. With
+    [workers > 1], independent stages of a wave and the per-machine
+    vertex loops inside each stage fan out across a fixed pool of OCaml 5
+    domains; outputs and all fault/retry accounting are byte-identical at
+    every worker count. With a fault {!Faults.spec} installed, cached
     partitions can be lost between stages and are recovered by
     recomputing the producing stage. Counters record rows
     shuffled/extracted, spool executions/reads, and stage/retry
@@ -35,11 +40,13 @@ type counters = {
 
 type t = {
   machines : int;
+  workers : int;  (** domain-pool width; 1 = fully sequential *)
   catalog : Relalg.Catalog.t;
   datagen : Datagen.config;
   faults : Faults.spec option;
       (** when set, every run draws deterministic fault events *)
   counters : counters;
+  mu : Mutex.t;  (** guards [counters] merges from worker domains *)
   mutable outputs_rev : (string * Relalg.Table.t) list;
       (** OUTPUT tables in reverse script order; [run] returns them
           reversed *)
@@ -47,19 +54,29 @@ type t = {
       (** when set, every operator's claimed delivered properties are
           checked against the rows it actually produced *)
   mutable prop_violations : string list;
+      (** flattened in stage-id order — deterministic at every worker
+          count *)
   mutable last_attempts : int array;
       (** per-stage execution counts of the most recent [execute] *)
+  mutable last_seconds : float array;
+      (** per-stage wall seconds of the most recent [execute] *)
+  mutable last_wall : float;
+      (** execution wall seconds of the most recent [execute] *)
+  mutable last_busy : float array;
+      (** per-worker busy seconds of the most recent [execute] *)
 }
 
 val create :
   ?datagen:Datagen.config ->
   ?verify_props:bool ->
   ?faults:Faults.spec ->
+  ?workers:int ->
   machines:int ->
   Relalg.Catalog.t ->
   t
 
-(** Hash-repartition a stream on a column set (counts shuffled rows). *)
+(** Hash-repartition a stream on a column set (counts shuffled rows).
+    Sequential convenience entry point for tests and examples. *)
 val exchange : t -> dist -> Relalg.Colset.t -> dist
 
 (** Streaming aggregation over rows whose groups are contiguous. *)

@@ -1,16 +1,24 @@
-(* Deterministic fault injection for the staged executor.
+(* Deterministic, schedule-independent fault injection for the staged
+   executor.
 
    Real clusters lose spooled partitions and whole machines; SCOPE-style
    systems recover by recomputing the producing vertex.  This module
-   draws such events from a seeded deterministic stream ([Sutil.Rng]) so
-   a faulty run is exactly reproducible: the same seed, rate and plan
-   produce the same loss sequence, and tests can assert byte-identical
-   outputs against the fault-free run.
+   draws such events deterministically — but unlike a single seeded
+   stream consumed in completion order, every draw is keyed on
+   [(seed, stage id, attempt)]: the completion of attempt [k] of stage
+   [s] always sees the same dice, no matter how many other stages
+   completed before it or on which worker domain it ran.  That is the
+   property the parallel scheduler's determinism contract rests on —
+   retry and loss counters are identical at any worker count, because
+   the fault sequence is a function of the (deterministic) set of
+   executions, not of their (schedule-dependent) interleaving.
 
-   Events are drawn once per stage completion — the scheduler's only
-   synchronization points — over the set of currently cached stage
-   outputs.  A [Kill_machine m] event models a transient machine loss:
-   partition [m] of every cached stage output disappears at once. *)
+   Events are drawn once per stage completion — the scheduler's barrier
+   points — over the set of stage outputs cached so far, passed as a
+   prefix of an incrementally-maintained array (first-cached order,
+   itself deterministic under the wave schedule).  A [Kill_machine m]
+   event models a transient machine loss: partition [m] of every cached
+   stage output disappears at once. *)
 
 type spec = { seed : int; rate : float; max_attempts : int }
 
@@ -26,21 +34,30 @@ type event =
   | Lose_partition of { stage : int; machine : int }
   | Kill_machine of int
 
-type t = { rng : Sutil.Rng.t; rate : float; machines : int }
+type t = { seed : int; rate : float; machines : int }
 
 let create ~machines (s : spec) =
-  { rng = Sutil.Rng.create s.seed; rate = s.rate; machines }
+  { seed = s.seed; rate = s.rate; machines }
+
+(* Fold (seed, stage, attempt) into one well-spread splitmix64 seed.
+   Collisions only correlate two draws statistically; determinism and
+   schedule-independence hold for any mixing function. *)
+let key_seed t ~stage ~attempt =
+  let h = (t.seed * 0x9E3779B9) lxor (stage * 0x85EBCA6B) in
+  (h * 0xC2B2AE35) lxor attempt
 
 (* One Bernoulli(rate) trial per completion; a firing trial is a machine
    kill one time in four, a single-partition loss otherwise. *)
-let draw t ~completed:_ ~cached =
-  if cached = [] || t.rate <= 0.0 then []
-  else if Sutil.Rng.float t.rng 1.0 >= t.rate then []
-  else if Sutil.Rng.int t.rng 4 = 0 then
-    [ Kill_machine (Sutil.Rng.int t.rng t.machines) ]
+let draw t ~stage ~attempt ~cached ~cached_count =
+  if cached_count = 0 || t.rate <= 0.0 then []
   else
-    let stage = Sutil.Rng.pick_list t.rng cached in
-    [ Lose_partition { stage; machine = Sutil.Rng.int t.rng t.machines } ]
+    let rng = Sutil.Rng.create (key_seed t ~stage ~attempt) in
+    if Sutil.Rng.float rng 1.0 >= t.rate then []
+    else if Sutil.Rng.int rng 4 = 0 then
+      [ Kill_machine (Sutil.Rng.int rng t.machines) ]
+    else
+      let stage = cached.(Sutil.Rng.int rng cached_count) in
+      [ Lose_partition { stage; machine = Sutil.Rng.int rng t.machines } ]
 
 let pp_event ppf = function
   | Lose_partition { stage; machine } ->

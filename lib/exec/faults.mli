@@ -1,9 +1,14 @@
-(** Deterministic fault injection for the staged executor.
+(** Deterministic, schedule-independent fault injection for the staged
+    executor.
 
-    Seeded partition-loss and machine-failure events drawn between stage
-    executions: the same seed, rate and plan reproduce the same loss
-    sequence, so faulty runs can be asserted byte-identical to fault-free
-    ones. *)
+    Partition-loss and machine-failure events are drawn at stage
+    completions, with the dice for each draw keyed on
+    [(seed, stage, attempt)] rather than consumed from one sequential
+    stream.  The same seed, rate and plan therefore reproduce the same
+    loss sequence at {e any} worker count: a draw depends on which
+    execution completed, never on how completions interleaved across
+    domains.  Faulty runs can be asserted byte-identical to fault-free
+    ones, and parallel runs to sequential ones. *)
 
 type spec = {
   seed : int;
@@ -29,9 +34,18 @@ type t
 
 val create : machines:int -> spec -> t
 
-(** Events fired by the completion of stage [completed]; [cached] is the
-    set of stage ids with a cached output (the just-completed stage
-    included).  Deterministic in the call sequence. *)
-val draw : t -> completed:int -> cached:int list -> event list
+(** [draw t ~stage ~attempt ~cached ~cached_count] is the events fired
+    by the completion of attempt [attempt] of stage [stage].  The first
+    [cached_count] entries of [cached] are the stage ids with a cached
+    output (the just-completed stage included), in first-cached order.
+    The result is a pure function of the arguments — independent of any
+    previous draw. *)
+val draw :
+  t ->
+  stage:int ->
+  attempt:int ->
+  cached:int array ->
+  cached_count:int ->
+  event list
 
 val pp_event : event Fmt.t

@@ -1,18 +1,34 @@
-(* Stage scheduler with fault recovery.
+(* Deterministic wave scheduler with fault recovery.
 
-   Runs a [Stage.graph] bottom-up: every stage executes once in
-   topological order, its output cached for downstream consumers.  When
-   fault injection is active, events drawn after each completion can mark
-   cached partitions lost; before a stage executes, every lost input is
-   *recovered* by recomputing the producing stage — from that stage's own
-   cached inputs when they are intact, recursively from source otherwise —
-   under a per-stage attempt budget.
+   Runs a [Stage.graph] bottom-up in *waves*.  Each round the scheduler
+   derives, from nothing but the current cache/lost state, the set of
+   stages that must (re-)execute:
 
-   The scheduler is generic in the stage-output type: the engine supplies
-   [execute] (evaluate one stage's interior, reading dependencies through
-   the cache) and [rows] (output size, for recompute accounting).  Faults
-   only strike between executions, so a stage's inputs cannot vanish
-   mid-evaluation. *)
+     needed  = stages that never ran, closed under "a needed stage's
+               dependency whose cached output has lost partitions must
+               be recomputed first";
+     wave    = needed stages whose dependencies are all intact.
+
+   The wave executes with no internal ordering constraints — stages in a
+   wave never depend on each other, so a worker pool may run them in any
+   interleaving — and then a barrier commits the results in ascending
+   stage id: cache the output, clear lost flags, account metrics, and
+   draw fault events for the completion.  Because the wave itself is a
+   pure function of the committed state, and commits happen in a fixed
+   order at the barrier, the logical schedule — which stage runs on
+   which attempt, which fault events fire — is identical for every
+   worker count.  Parallelism changes wall-clock time, nothing else.
+
+   Faults only strike at barriers, so a stage's inputs cannot vanish
+   mid-evaluation; the per-completion dice are keyed on
+   [(seed, stage, attempt)] (see {!Faults}), so the drawn events do not
+   depend on how completions interleave across workers either.
+
+   The scheduler is generic in the stage-output type: the engine
+   supplies [execute] (evaluate one stage's interior, reading
+   dependencies through the cache) and [rows] (output size, for
+   recompute accounting).  [execute] may be called concurrently from
+   several domains when a pool is supplied. *)
 
 type metrics = {
   mutable stages_run : int;  (* stage executions, recoveries included *)
@@ -38,20 +54,24 @@ exception Recovery_exhausted of { stage : int; attempts : int }
 type 'o outcome = {
   result : 'o;  (* the sink stage's output *)
   attempts : int array;  (* per-stage execution counts *)
+  seconds : float array;  (* per-stage wall seconds, attempts summed *)
   metrics : metrics;
 }
 
-let run ~machines ?faults ?(max_attempts = Faults.default_attempts) ~execute
-    ~rows (graph : Stage.graph) : 'o outcome =
+let run ~machines ?pool ?faults ?(max_attempts = Faults.default_attempts)
+    ~execute ~rows (graph : Stage.graph) : 'o outcome =
   let n = Array.length graph.Stage.stages in
   let cache : 'o option array = Array.make n None in
   (* lost.(sid) is empty until a fault strikes sid's cached output *)
   let lost : bool array array = Array.make n [||] in
   let attempts = Array.make n 0 in
+  let seconds = Array.make n 0.0 in
   let metrics = fresh_metrics () in
-  let available sid =
-    cache.(sid) <> None && Array.for_all not lost.(sid)
-  in
+  (* stages with a cached output, in first-cached order — maintained
+     incrementally instead of rescanning all [n] slots per completion *)
+  let cached_ids = Array.make n 0 in
+  let cached_count = ref 0 in
+  let intact sid = cache.(sid) <> None && Array.for_all not lost.(sid) in
   let mark_lost sid m =
     if cache.(sid) <> None then begin
       if lost.(sid) = [||] then lost.(sid) <- Array.make machines false;
@@ -61,60 +81,147 @@ let run ~machines ?faults ?(max_attempts = Faults.default_attempts) ~execute
       end
     end
   in
-  let inject completed =
+  let inject sid =
     match faults with
     | None -> ()
     | Some f ->
-        let cached = ref [] in
-        for sid = n - 1 downto 0 do
-          if cache.(sid) <> None then cached := sid :: !cached
-        done;
         List.iter
           (function
             | Faults.Lose_partition { stage; machine } ->
                 mark_lost stage machine
             | Faults.Kill_machine m ->
                 metrics.machines_failed <- metrics.machines_failed + 1;
-                List.iter (fun sid -> mark_lost sid m) !cached)
-          (Faults.draw f ~completed ~cached:!cached)
+                for i = 0 to !cached_count - 1 do
+                  mark_lost cached_ids.(i) m
+                done)
+          (Faults.draw f ~stage:sid ~attempt:attempts.(sid) ~cached:cached_ids
+             ~cached_count:!cached_count)
   in
-  let rec run_stage sid =
-    let st = graph.Stage.stages.(sid) in
-    ensure st;
-    let recovery = cache.(sid) <> None in
-    attempts.(sid) <- attempts.(sid) + 1;
-    if attempts.(sid) > max_attempts then
-      raise (Recovery_exhausted { stage = sid; attempts = attempts.(sid) });
-    metrics.stages_run <- metrics.stages_run + 1;
-    metrics.vertices_run <- metrics.vertices_run + machines;
-    let out =
-      execute st ~read:(fun dep ->
-          match cache.(dep) with
-          | Some o -> o
-          | None -> invalid_arg "Scheduler: dependency executed out of order")
-    in
-    cache.(sid) <- Some out;
-    lost.(sid) <- [||];
-    if recovery then begin
-      metrics.retries <- metrics.retries + 1;
-      metrics.recomputed_rows <- metrics.recomputed_rows + rows out
-    end;
-    inject sid
-  (* loop until every input is available at once: recovering one stage
-     fires completion events that may lose another *)
-  and ensure (st : Stage.stage) =
-    match
-      List.find_opt (fun (_, dep) -> not (available dep)) st.Stage.deps
-    with
-    | None -> ()
-    | Some (_, dep) ->
-        run_stage dep;
-        ensure st
+  let read dep =
+    match cache.(dep) with
+    | Some o -> o
+    | None -> invalid_arg "Scheduler: dependency executed out of order"
   in
-  Array.iter (fun (st : Stage.stage) -> run_stage st.Stage.id) graph.Stage.stages;
+  let pfor count f =
+    match pool with
+    | Some p -> Sutil.Pool.parallel_for p count f
+    | None ->
+        for i = 0 to count - 1 do
+          f i
+        done
+  in
+  let needed = Array.make n false in
+  let rec demand sid =
+    if not needed.(sid) then begin
+      needed.(sid) <- true;
+      List.iter
+        (fun (_, dep) -> if not (intact dep) then demand dep)
+        graph.Stage.stages.(sid).Stage.deps
+    end
+  in
+  let running = ref true in
+  while !running do
+    Array.fill needed 0 n false;
+    for sid = 0 to n - 1 do
+      if cache.(sid) = None then demand sid
+    done;
+    let wave = ref [] in
+    for sid = n - 1 downto 0 do
+      if
+        needed.(sid)
+        && List.for_all
+             (fun (_, dep) -> intact dep)
+             graph.Stage.stages.(sid).Stage.deps
+      then wave := sid :: !wave
+    done;
+    match !wave with
+    | [] -> running := false
+    | wave ->
+        let wave = Array.of_list wave in
+        let k = Array.length wave in
+        (* charge attempts in id order before anything executes, so the
+           budget error is raised at the same point for every worker
+           count *)
+        Array.iter
+          (fun sid ->
+            attempts.(sid) <- attempts.(sid) + 1;
+            if attempts.(sid) > max_attempts then
+              raise
+                (Recovery_exhausted { stage = sid; attempts = attempts.(sid) }))
+          wave;
+        let outputs = Array.make k None in
+        pfor k (fun i ->
+            let sid = wave.(i) in
+            let t0 = Unix.gettimeofday () in
+            let out = execute graph.Stage.stages.(sid) ~read in
+            seconds.(sid) <- seconds.(sid) +. (Unix.gettimeofday () -. t0);
+            outputs.(i) <- Some out);
+        (* barrier: commit and draw faults in ascending stage id *)
+        for i = 0 to k - 1 do
+          let sid = wave.(i) in
+          let out =
+            match outputs.(i) with
+            | Some o -> o
+            | None -> invalid_arg "Scheduler: wave task produced no output"
+          in
+          let recovery = cache.(sid) <> None in
+          if not recovery then begin
+            cached_ids.(!cached_count) <- sid;
+            incr cached_count
+          end;
+          cache.(sid) <- Some out;
+          lost.(sid) <- [||];
+          metrics.stages_run <- metrics.stages_run + 1;
+          metrics.vertices_run <- metrics.vertices_run + machines;
+          if recovery then begin
+            metrics.retries <- metrics.retries + 1;
+            metrics.recomputed_rows <- metrics.recomputed_rows + rows out
+          end;
+          inject sid
+        done
+  done;
   let result =
     match cache.(graph.Stage.sink) with
     | Some o -> o
     | None -> invalid_arg "Scheduler: sink stage did not complete"
   in
-  { result; attempts; metrics }
+  { result; attempts; seconds; metrics }
+
+(* Replay measured per-stage durations through the same fault-free wave
+   schedule with greedy longest-processing-time placement on [workers]
+   slots.  Gives the makespan this graph would have on a machine with
+   [workers] real cores — the honest figure to report when the host has
+   fewer cores than the pool has domains. *)
+let modeled_makespan ~workers ~seconds (graph : Stage.graph) =
+  let workers = max 1 workers in
+  let n = Array.length graph.Stage.stages in
+  let finished = Array.make n false in
+  let remaining = ref n in
+  let total = ref 0.0 in
+  while !remaining > 0 do
+    let wave = ref [] in
+    Array.iter
+      (fun (st : Stage.stage) ->
+        if
+          (not finished.(st.Stage.id))
+          && List.for_all (fun (_, dep) -> finished.(dep)) st.Stage.deps
+        then wave := st.Stage.id :: !wave)
+      graph.Stage.stages;
+    let wave =
+      List.sort (fun a b -> compare seconds.(b) seconds.(a)) !wave
+    in
+    if wave = [] then invalid_arg "Scheduler.modeled_makespan: cyclic graph";
+    let load = Array.make workers 0.0 in
+    List.iter
+      (fun sid ->
+        let slot = ref 0 in
+        for w = 1 to workers - 1 do
+          if load.(w) < load.(!slot) then slot := w
+        done;
+        load.(!slot) <- load.(!slot) +. seconds.(sid);
+        finished.(sid) <- true;
+        decr remaining)
+      wave;
+    total := !total +. Array.fold_left max 0.0 load
+  done;
+  !total

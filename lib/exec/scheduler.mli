@@ -1,12 +1,16 @@
-(** Stage scheduler with fault recovery.
+(** Deterministic wave scheduler with fault recovery.
 
-    Executes a {!Stage.graph} bottom-up, caching each stage's output for
-    its consumers.  Fault events drawn after each completion may mark
-    cached partitions lost; a lost input is recovered by recomputing the
-    producing stage — from its own cached inputs when intact, recursively
-    from source otherwise — under a per-stage attempt budget.  Generic in
-    the stage-output type: the caller supplies evaluation and row
-    counting. *)
+    Executes a {!Stage.graph} bottom-up in waves: each round, the stages
+    that must (re-)execute and whose inputs are intact run together —
+    across a worker pool when one is supplied — then a barrier commits
+    their outputs and draws fault events in ascending stage id.  The
+    logical schedule is a pure function of committed state, so outputs,
+    attempt counts and fault events are identical for every worker
+    count; parallelism only changes wall-clock time.  A lost input is
+    recovered by recomputing the producing stage — from its own cached
+    inputs when intact, recursively from source otherwise — under a
+    per-stage attempt budget.  Generic in the stage-output type: the
+    caller supplies evaluation and row counting. *)
 
 type metrics = {
   mutable stages_run : int;  (** stage executions, recoveries included *)
@@ -26,19 +30,32 @@ exception Recovery_exhausted of { stage : int; attempts : int }
 type 'o outcome = {
   result : 'o;  (** the sink stage's output *)
   attempts : int array;  (** per-stage execution counts *)
+  seconds : float array;  (** per-stage wall seconds, attempts summed *)
   metrics : metrics;
 }
 
-(** [run ~machines ?faults ~execute ~rows graph] executes every stage in
-    topological order.  [execute st ~read] evaluates one stage, calling
-    [read dep] for each cached input; [rows] sizes an output for
-    recompute accounting.  Raises {!Recovery_exhausted} when a stage's
-    attempt budget (default {!Faults.default_attempts}) runs out. *)
+(** [run ~machines ?pool ?faults ~execute ~rows graph] executes every
+    stage at least once, waves of independent stages in parallel when
+    [pool] is given.  [execute st ~read] evaluates one stage, calling
+    [read dep] for each cached input — it may be called concurrently
+    from several domains and must not depend on evaluation order within
+    a wave; [rows] sizes an output for recompute accounting.  Raises
+    {!Recovery_exhausted} when a stage's attempt budget (default
+    {!Faults.default_attempts}) runs out. *)
 val run :
   machines:int ->
+  ?pool:Sutil.Pool.t ->
   ?faults:Faults.t ->
   ?max_attempts:int ->
   execute:(Stage.stage -> read:(int -> 'o) -> 'o) ->
   rows:('o -> int) ->
   Stage.graph ->
   'o outcome
+
+(** [modeled_makespan ~workers ~seconds graph] replays measured
+    per-stage durations (from {!outcome}[.seconds]) through the
+    fault-free wave schedule with greedy longest-task-first placement on
+    [workers] slots, returning the projected execution wall time on a
+    host with that many real cores. *)
+val modeled_makespan :
+  workers:int -> seconds:float array -> Stage.graph -> float

@@ -107,6 +107,31 @@ let build (plan : Plan.t) : graph =
 
 let size g = Array.length g.stages
 
+(* Topological level of each stage: 0 for stages with no dependencies,
+   else one more than the deepest dependency.  Stages of equal depth can
+   execute concurrently in a fault-free run — the graph's wave structure. *)
+let depths g =
+  let n = Array.length g.stages in
+  let d = Array.make n 0 in
+  Array.iter
+    (fun (st : stage) ->
+      d.(st.id) <-
+        List.fold_left (fun acc (_, dep) -> max acc (d.(dep) + 1)) 0 st.deps)
+    g.stages;
+  d
+
+(* Largest number of stages sharing a depth level: the fault-free
+   parallelism the wave scheduler can exploit. *)
+let width g =
+  let d = depths g in
+  let n = Array.length g.stages in
+  if n = 0 then 0
+  else begin
+    let per_level = Array.make (Array.fold_left max 0 d + 1) 0 in
+    Array.iter (fun lvl -> per_level.(lvl) <- per_level.(lvl) + 1) d;
+    Array.fold_left max 0 per_level
+  end
+
 let describe (s : stage) =
   Printf.sprintf "stage %d [%s] (%d operator%s, %d input%s)" s.id
     (Physop.short_name s.root.Plan.op)

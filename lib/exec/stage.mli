@@ -37,6 +37,15 @@ val build : Sphys.Plan.t -> graph
 (** Number of stages. *)
 val size : graph -> int
 
+(** Topological level per stage: 0 for dependency-free stages, else one
+    more than the deepest dependency.  Equal-depth stages can execute
+    concurrently in a fault-free run. *)
+val depths : graph -> int array
+
+(** Largest number of stages sharing a depth level — the fault-free
+    parallelism available to the wave scheduler. *)
+val width : graph -> int
+
 (** One-line stage description ("stage 3 [Repartition] (5 operators, 1
     input)"). *)
 val describe : stage -> string

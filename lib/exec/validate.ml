@@ -8,6 +8,8 @@ type outcome = {
   counters : Engine.counters;
   outputs : (string * Table.t) list;
   attempts : int array;
+  wall : float;
+  busy : float array;
 }
 
 (* ORDER BY specifications per output file, from the logical DAG. *)
@@ -60,10 +62,12 @@ let identical_outputs (a : (string * Table.t) list)
    contents against the reference results for [dag]; outputs with an
    ORDER BY are additionally checked to be globally sorted. *)
 let check ?(datagen = Datagen.default) ?(verify_props = false) ?faults
-    ~machines (catalog : Catalog.t) (dag : Slogical.Dag.t)
+    ?(workers = 1) ~machines (catalog : Catalog.t) (dag : Slogical.Dag.t)
     (plan : Sphys.Plan.t) : outcome =
   let expected = Reference.run ~datagen catalog dag in
-  let engine = Engine.create ~datagen ~verify_props ?faults ~machines catalog in
+  let engine =
+    Engine.create ~datagen ~verify_props ?faults ~workers ~machines catalog
+  in
   let actual = Engine.run engine plan in
   let mismatches = ref [] in
   List.iter
@@ -105,4 +109,6 @@ let check ?(datagen = Datagen.default) ?(verify_props = false) ?faults
     counters = engine.Engine.counters;
     outputs = actual;
     attempts = engine.Engine.last_attempts;
+    wall = engine.Engine.last_wall;
+    busy = engine.Engine.last_busy;
   }

@@ -7,6 +7,8 @@ type outcome = {
   outputs : (string * Relalg.Table.t) list;
       (** the engine's OUTPUT tables, in script order *)
   attempts : int array;  (** per-stage execution counts of the run *)
+  wall : float;  (** execution wall seconds *)
+  busy : float array;  (** per-worker busy seconds *)
 }
 
 (** Byte-identical output comparison: same files in the same order, same
@@ -20,11 +22,14 @@ val identical_outputs :
     ORDER BY are checked to be globally sorted, and with [~verify_props]
     every operator's claimed delivered properties are checked against the
     rows it actually produced.  [?faults] injects deterministic faults
-    during execution (the outputs must still validate). *)
+    during execution (the outputs must still validate); [?workers] sets
+    the executor's domain-pool width — the outcome is identical for every
+    value, only wall time changes. *)
 val check :
   ?datagen:Datagen.config ->
   ?verify_props:bool ->
   ?faults:Faults.spec ->
+  ?workers:int ->
   machines:int ->
   Relalg.Catalog.t ->
   Slogical.Dag.t ->

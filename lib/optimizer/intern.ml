@@ -21,16 +21,16 @@ let misses = Sutil.Counters.counter "intern.misses"
 let id (extreq : Extreq.t) : int =
   match Hashtbl.find_opt ids extreq with
   | Some i ->
-      incr hits;
+      Atomic.incr hits;
       i
   | None ->
       let i = Hashtbl.length ids in
-      incr misses;
+      Atomic.incr misses;
       Hashtbl.add ids extreq i;
       Hashtbl.add back i extreq;
       i
 
 let lookup i = Hashtbl.find_opt back i
 let size () = Hashtbl.length ids
-let hit_count () = !hits
-let miss_count () = !misses
+let hit_count () = Atomic.get hits
+let miss_count () = Atomic.get misses

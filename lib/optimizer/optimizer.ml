@@ -115,11 +115,11 @@ let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
   let key = winner_key t extreq in
   match Hashtbl.find_opt g.Smemo.Memo.winners key with
   | Some w ->
-      incr winner_hits;
+      Atomic.incr winner_hits;
       w.Smemo.Memo.wplan
   | None ->
-      incr winner_misses;
-      incr ticks;
+      Atomic.incr winner_misses;
+      Atomic.incr ticks;
       Budget.tick t.budget;
       t.ext.before_optimize t g extreq;
       let result =

@@ -1,25 +1,38 @@
 (* Named monotonic counters for hot-path instrumentation.
 
    A counter is registered once at module initialization and bumped
-   through its ref, so the per-event cost is one integer increment -- no
-   name lookup on the hot path.  The registry is global and append-only;
-   per-run figures come from diffing snapshots ([since]). *)
+   through its atomic cell, so the per-event cost is one atomic add -- no
+   name lookup on the hot path.  Cells are [Atomic.t] so the staged
+   executor's worker domains can bump the same counter concurrently
+   without losing increments; single-domain callers pay one lock-free
+   fetch-and-add, which on uncontended counters costs the same as the
+   plain increment it replaced.  The registry is global and append-only
+   (guarded by a mutex for concurrent first-registration); per-run
+   figures come from diffing snapshots ([since]). *)
 
-let registry : (string, int ref) Hashtbl.t = Hashtbl.create 16
+let registry : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
+let registry_mu = Mutex.create ()
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some r -> r
-  | None ->
-      let r = ref 0 in
-      Hashtbl.add registry name r;
-      r
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some r -> r
+      | None ->
+          let r = Atomic.make 0 in
+          Hashtbl.add registry name r;
+          r)
+
+let bump r n = ignore (Atomic.fetch_and_add r n)
 
 let get name =
-  match Hashtbl.find_opt registry name with Some r -> !r | None -> 0
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some r -> Atomic.get r
+      | None -> 0)
 
 let snapshot () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) registry []
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, Atomic.get r) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Counters that moved since [before] (a [snapshot] result), with their
@@ -31,4 +44,6 @@ let since before =
       if v > v0 then Some (name, v - v0) else None)
     (snapshot ())
 
-let reset_all () = Hashtbl.iter (fun _ r -> r := 0) registry
+let reset_all () =
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.iter (fun _ r -> Atomic.set r 0) registry)

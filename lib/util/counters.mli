@@ -1,19 +1,25 @@
 (** Named monotonic counters for hot-path instrumentation.
 
-    Register once at module initialization, bump through the ref:
+    Register once at module initialization, bump through the atomic
+    cell:
 
     {[
       let hits = Sutil.Counters.counter "optimizer.winner_hits"
-      let f () = incr hits
+      let f () = Sutil.Counters.bump hits 1
     ]}
 
-    The registry is global and append-only; per-run figures come from
-    diffing snapshots with {!since}. *)
+    Cells are [Atomic.t], so worker domains of the parallel staged
+    executor can bump the same counter concurrently without losing
+    increments.  The registry is global and append-only; per-run figures
+    come from diffing snapshots with {!since}. *)
 
-(** The ref behind a named counter, registering it at zero on first
-    sight.  Callers keep the ref so the per-event cost is one integer
-    increment. *)
-val counter : string -> int ref
+(** The atomic cell behind a named counter, registering it at zero on
+    first sight.  Callers keep the cell so the per-event cost is one
+    lock-free fetch-and-add. *)
+val counter : string -> int Atomic.t
+
+(** [bump c n] adds [n] to the counter, atomically. *)
+val bump : int Atomic.t -> int -> unit
 
 (** Current value of a named counter; 0 if never registered. *)
 val get : string -> int

@@ -427,6 +427,25 @@ let test_sa043_output_outside_sink () =
   assert_code "SA043" (Sanalysis.Stage_audit.check_graph plan bad);
   assert_not_code "SA043" (Sanalysis.Stage_audit.run plan)
 
+(* SA044: severing the sink's dependencies strands every upstream stage —
+   unreachable stages would break the scheduler's sink-runs-last-and-alone
+   invariant. *)
+let test_sa044_unreachable_stage () =
+  let _, _, r = raw_report Sworkload.Paper_scripts.s1 in
+  let plan = r.Cse.Pipeline.cse_plan in
+  let g = Sexec.Stage.build plan in
+  let stages =
+    Array.map
+      (fun (st : Sexec.Stage.stage) ->
+        if st.Sexec.Stage.id = g.Sexec.Stage.sink then
+          { st with Sexec.Stage.deps = [] }
+        else st)
+      g.Sexec.Stage.stages
+  in
+  assert_code "SA044"
+    (Sanalysis.Stage_audit.check_graph plan { g with Sexec.Stage.stages });
+  assert_not_code "SA044" (Sanalysis.Stage_audit.run plan)
+
 (* --- framework ----------------------------------------------------------- *)
 
 let test_diag_framework () =
@@ -506,6 +525,8 @@ let () =
             test_sa041_divergent_deps;
           Alcotest.test_case "SA042 unspooled sharing" `Quick
             test_sa042_unspooled_sharing;
+          Alcotest.test_case "SA044 unreachable stage" `Quick
+            test_sa044_unreachable_stage;
           Alcotest.test_case "SA043 output outside sink" `Quick
             test_sa043_output_outside_sink;
         ] );

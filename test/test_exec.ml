@@ -342,6 +342,93 @@ let test_faults_budget_exhaustion () =
   | exception Sexec.Scheduler.Recovery_exhausted { attempts; _ } ->
       Alcotest.(check bool) "budget respected" true (attempts > 2)
 
+(* --- worker-count determinism --------------------------------------------- *)
+
+(* The determinism contract: at any pool width the scheduler commits the
+   same waves, draws the same faults and produces the same bytes.  Run
+   the plan at workers = 1, 2 and 8 and require byte-identical outputs
+   plus identical retry/loss accounting. *)
+let worker_matrix ?faults ~machines catalog dag plan =
+  let run workers =
+    Sexec.Validate.check ?faults ~machines ~workers catalog dag plan
+  in
+  let base = run 1 in
+  if not base.Sexec.Validate.ok then
+    Alcotest.failf "workers=1: %s"
+      (String.concat "; " base.Sexec.Validate.mismatches);
+  List.iter
+    (fun workers ->
+      let v = run workers in
+      if not v.Sexec.Validate.ok then
+        Alcotest.failf "workers=%d: %s" workers
+          (String.concat "; " v.Sexec.Validate.mismatches);
+      if
+        not
+          (Sexec.Validate.identical_outputs base.Sexec.Validate.outputs
+             v.Sexec.Validate.outputs)
+      then Alcotest.failf "workers=%d: outputs diverge from sequential" workers;
+      Alcotest.(check int)
+        (Printf.sprintf "retries identical at workers=%d" workers)
+        base.Sexec.Validate.counters.Sexec.Engine.retries
+        v.Sexec.Validate.counters.Sexec.Engine.retries;
+      Alcotest.(check int)
+        (Printf.sprintf "partitions_lost identical at workers=%d" workers)
+        base.Sexec.Validate.counters.Sexec.Engine.partitions_lost
+        v.Sexec.Validate.counters.Sexec.Engine.partitions_lost;
+      Alcotest.(check (array int))
+        (Printf.sprintf "per-stage attempts identical at workers=%d" workers)
+        base.Sexec.Validate.attempts v.Sexec.Validate.attempts)
+    [ 2; 8 ];
+  base.Sexec.Validate.counters.Sexec.Engine.retries
+
+let test_parallel_builtins () =
+  List.iter
+    (fun (_, script) ->
+      List.iter
+        (fun cse ->
+          let catalog, dag, plan = optimize ~cse script in
+          ignore (worker_matrix ~machines:6 catalog dag plan);
+          ignore
+            (worker_matrix
+               ~faults:(Sexec.Faults.spec ~rate:0.3 11)
+               ~machines:6 catalog dag plan))
+        [ true; false ])
+    (Sworkload.Paper_scripts.all
+    @ [ ("IND", Sworkload.Paper_scripts.independent_pair) ])
+
+let test_parallel_random_scripts () =
+  let retries = ref 0 in
+  for seed = 1 to 25 do
+    let script = Sworkload.Random_gen.generate ~seed ~statements:6 () in
+    let catalog = Sworkload.Random_gen.catalog () in
+    let r = Cse.Pipeline.run ~catalog script in
+    let dag = r.Cse.Pipeline.dag and plan = r.Cse.Pipeline.cse_plan in
+    ignore (worker_matrix ~machines:5 catalog dag plan);
+    retries :=
+      !retries
+      + worker_matrix
+          ~faults:(Sexec.Faults.spec ~rate:0.4 (seed + 2000))
+          ~machines:5 catalog dag plan
+  done;
+  Alcotest.(check bool) "recoveries exercised in parallel" true (!retries > 0)
+
+let test_parallel_large_scripts () =
+  let retries = ref 0 in
+  List.iter
+    (fun script ->
+      let catalog = Relalg.Catalog.default () in
+      Sworkload.Large_gen.register_files catalog script;
+      let r = Cse.Pipeline.run ~catalog script in
+      let dag = r.Cse.Pipeline.dag and plan = r.Cse.Pipeline.cse_plan in
+      ignore (worker_matrix ~machines:9 catalog dag plan);
+      retries :=
+        !retries
+        + worker_matrix
+            ~faults:(Sexec.Faults.spec ~rate:0.1 ~max_attempts:64 3)
+            ~machines:9 catalog dag plan)
+    [ Sworkload.Large_gen.ls1 (); Sworkload.Large_gen.ls2 () ];
+  Alcotest.(check bool) "recoveries exercised in parallel" true (!retries > 0)
+
 let () =
   Alcotest.run "exec"
     [
@@ -384,5 +471,14 @@ let () =
             test_faults_large_scripts;
           Alcotest.test_case "fault determinism" `Quick test_faults_deterministic;
           Alcotest.test_case "recovery budget" `Quick test_faults_budget_exhaustion;
+        ] );
+      ( "worker determinism",
+        [
+          Alcotest.test_case "builtins at workers 1/2/8" `Slow
+            test_parallel_builtins;
+          Alcotest.test_case "random scripts at workers 1/2/8" `Slow
+            test_parallel_random_scripts;
+          Alcotest.test_case "large scripts at workers 1/2/8" `Slow
+            test_parallel_large_scripts;
         ] );
     ]

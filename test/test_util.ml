@@ -93,6 +93,53 @@ let prop_subsets_subset =
         (fun s -> List.for_all (fun x -> List.mem x l) s)
         (Sutil.Combi.subsets l))
 
+let test_counters_atomic_hammer () =
+  (* 4 domains bumping one shared counter concurrently: the atomic cells
+     must not lose a single increment *)
+  let c = Sutil.Counters.counter "test.hammer" in
+  let before = Sutil.Counters.get "test.hammer" in
+  let per_domain = 25_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Sutil.Counters.bump c 1
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "exact total" (before + (4 * per_domain))
+    (Sutil.Counters.get "test.hammer")
+
+let test_pool_parallel_for () =
+  Sutil.Pool.with_pool ~workers:4 (fun pool ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Sutil.Pool.parallel_for pool n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "each index exactly once" true
+        (Array.for_all (fun h -> h = 1) hits);
+      (* nested: a loop submitted from inside a task still completes *)
+      let out = Array.make 8 0 in
+      Sutil.Pool.parallel_for pool 8 (fun i ->
+          Sutil.Pool.parallel_for pool 4 (fun _ -> ());
+          out.(i) <- i);
+      Alcotest.(check bool) "nested loops finish" true
+        (Array.for_all2 (fun v i -> v = i) out (Array.init 8 Fun.id)))
+
+let test_pool_init_and_errors () =
+  Sutil.Pool.with_pool ~workers:3 (fun pool ->
+      let a = Sutil.Pool.parallel_init pool 100 (fun i -> i * i) in
+      Alcotest.(check bool) "init slots" true
+        (Array.for_all2 ( = ) a (Array.init 100 (fun i -> i * i)));
+      Alcotest.check_raises "exception re-raised" (Failure "boom") (fun () ->
+          Sutil.Pool.parallel_for pool 10 (fun i ->
+              if i = 7 then failwith "boom")));
+  (* workers=1 never spawns a domain and runs inline *)
+  Sutil.Pool.with_pool ~workers:1 (fun pool ->
+      Alcotest.(check int) "inline pool size" 1 (Sutil.Pool.size pool);
+      let r = ref 0 in
+      Sutil.Pool.parallel_for pool 5 (fun i -> r := !r + i);
+      Alcotest.(check int) "inline sum" 10 !r)
+
 let test_strutil () =
   Alcotest.(check string) "indent" "  a\n  b" (Sutil.Strutil.indent 2 "a\nb");
   Alcotest.(check bool) "starts_with" true
@@ -124,6 +171,17 @@ let () =
           Alcotest.test_case "take/drop" `Quick test_take_drop;
           prop_take_drop;
           prop_subsets_subset;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "4-domain hammer" `Quick
+            test_counters_atomic_hammer;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for" `Quick test_pool_parallel_for;
+          Alcotest.test_case "init and errors" `Quick
+            test_pool_init_and_errors;
         ] );
       ("strutil", [ Alcotest.test_case "basics" `Quick test_strutil ]);
     ]
