@@ -426,32 +426,42 @@ type exec_times = {
   e_width : int;  (* max stages per depth level: available parallelism *)
   e_wall1 : float;  (* measured, workers = 1, min of 3 reps *)
   e_walln : float;  (* measured, workers = n, min of 3 reps *)
+  e_busyn : float array;  (* per-worker busy seconds of the best rep at n *)
   e_model1 : float;  (* modeled makespan on 1 slot = sum of stage times *)
   e_modeln : float;  (* modeled makespan on n slots *)
 }
 
+(* Also fills the pipeline report's [exec] summary (the best workers=n
+   rep), so the drift checker and the JSON report read execution figures
+   from the report instead of re-running anything. *)
 let exec_times ~workers (w : prepared) (r : Cse.Pipeline.report) =
   let plan = r.Cse.Pipeline.cse_plan in
   let graph = Sexec.Stage.build plan in
   let measure wk =
-    let best_wall = ref infinity and best_seconds = ref [||] in
+    let best_wall = ref infinity
+    and best_seconds = ref [||]
+    and best_busy = ref [||] in
     for _ = 1 to 3 do
       let engine = Sexec.Engine.create ~workers:wk ~machines:25 w.catalog in
       ignore (Sexec.Engine.run engine plan);
       if engine.Sexec.Engine.last_wall < !best_wall then begin
         best_wall := engine.Sexec.Engine.last_wall;
-        best_seconds := engine.Sexec.Engine.last_seconds
+        best_seconds := engine.Sexec.Engine.last_seconds;
+        best_busy := engine.Sexec.Engine.last_busy
       end
     done;
-    (!best_wall, !best_seconds)
+    (!best_wall, !best_seconds, !best_busy)
   in
-  let wall1, seconds = measure 1 in
-  let walln, _ = measure workers in
+  let wall1, seconds, _ = measure 1 in
+  let walln, _, busyn = measure workers in
+  r.Cse.Pipeline.exec <-
+    Some { Cse.Pipeline.workers; wall_s = walln; busy_s = busyn };
   {
     e_stages = Sexec.Stage.size graph;
     e_width = Sexec.Stage.width graph;
     e_wall1 = wall1;
     e_walln = walln;
+    e_busyn = busyn;
     e_model1 = Sexec.Scheduler.modeled_makespan ~workers:1 ~seconds graph;
     e_modeln = Sexec.Scheduler.modeled_makespan ~workers ~seconds graph;
   }
@@ -605,6 +615,14 @@ let json_of_record (o : opt_record) =
       Printf.sprintf
         "     \"exec_wall_w1_s\": %.6f, \"exec_wall_wN_s\": %.6f,\n"
         o.exec.e_wall1 o.exec.e_walln;
+      (* utilization of the best workers=N rep, from the report's exec
+         summary (environment-dependent, exempt from drift checks) *)
+      Printf.sprintf
+        "     \"exec_busy_wN_s\": %.6f, \"exec_util_wN\": %.4f,\n"
+        (Array.fold_left ( +. ) 0.0 o.exec.e_busyn)
+        (match r.Cse.Pipeline.exec with
+        | Some e -> Cse.Pipeline.utilization e
+        | None -> 0.0);
       Printf.sprintf
         "     \"exec_modeled_w1_s\": %.6f, \"exec_modeled_wN_s\": %.6f, \
          \"exec_modeled_speedup\": %.2f,\n"

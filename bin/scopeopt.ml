@@ -1,16 +1,19 @@
 (* scopeopt: command-line driver for the CSE-aware SCOPE-like optimizer.
 
    Subcommands:
-     parse     - parse a script and print its AST
-     explain   - print the logical DAG and the memo with shared groups
-     optimize  - run both optimizers and print plans, costs and statistics
-     run       - optimize, execute on the simulated cluster, show outputs
-     lint      - optimize, then run the full static-analysis audit
-     workload  - print a built-in workload script (S1-S4, LS1, LS2)
+     parse       - parse a script and print its AST
+     explain     - print the logical DAG and the memo with shared groups
+     optimize    - run both optimizers and print plans, costs and statistics
+     run         - optimize, execute on the simulated cluster, show outputs
+     report      - optimize + execute, emit a machine-readable run report
+     check-trace - validate a Chrome trace file written by --trace
+     lint        - optimize, then run the full static-analysis audit
+     workload    - print a built-in workload script (S1-S4, LS1, LS2)
 
    Scripts are read from a file argument or from one of the built-in
    workloads via --builtin.  [optimize] and [run] accept --audit to run
-   the same audit as [lint] after printing their reports. *)
+   the same audit as [lint] after printing their reports, and --trace to
+   record the whole pipeline as Chrome trace-event JSON (Perfetto). *)
 
 open Cmdliner
 
@@ -115,6 +118,18 @@ let workers_arg =
            Outputs and fault/retry counters are identical for every value; \
            only wall time changes.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the whole pipeline (optimization phases, stage-graph \
+           construction, per-stage execution spans across worker domains) \
+           as Chrome trace-event JSON into $(docv); load it at \
+           ui.perfetto.dev.  Executed stages are cross-checked against \
+           the trace (SA045).")
+
 let audit_arg =
   Arg.(
     value & flag
@@ -140,9 +155,19 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
+(* Map the frontend's exceptions to cmdliner error messages so a bad
+   script exits with a one-line diagnostic instead of a backtrace. *)
+let guard f script =
+  match f script with
+  | r -> r
+  | exception Slang.Parser.Error (msg, _) -> Error (`Msg msg)
+  | exception Slang.Lexer.Error (msg, _) -> Error (`Msg msg)
+  | exception Slogical.Binder.Error msg -> Error (`Msg msg)
+  | exception Cse.Pipeline.No_plan msg -> Error (`Msg msg)
+
 let with_script f =
   Term.(
-    const (fun file builtin -> Result.bind (read_script file builtin) f)
+    const (fun file builtin -> Result.bind (read_script file builtin) (guard f))
     $ file_arg $ builtin_arg)
 
 (* --- parse ------------------------------------------------------------- *)
@@ -204,9 +229,36 @@ let exec_summary workers (v : Sexec.Validate.outcome) =
     busy_s = v.Sexec.Validate.busy;
   }
 
+(* Finish an in-progress trace: stop, merge, write the Chrome file, then
+   hold it to the well-formedness checker and — when stages executed —
+   the SA045 audit against the engine's per-run attempt counts. *)
+let finish_trace ~attempts path =
+  Sobs.Trace.stop ();
+  let events = Sobs.Trace.collect () in
+  let oc = open_out path in
+  Sobs.Trace.write_chrome oc events;
+  close_out oc;
+  Fmt.pr "wrote %s (%d events%s)@." path (List.length events)
+    (match Sobs.Trace.dropped () with
+    | 0 -> ""
+    | d -> Printf.sprintf ", %d dropped" d);
+  match Sobs.Trace.check events with
+  | _ :: _ as errs ->
+      List.iter (fun e -> Fmt.epr "trace: %s@." e) errs;
+      Error (`Msg "trace is not well-formed")
+  | [] -> (
+      match Sanalysis.Diag.errors (Sanalysis.Trace_audit.run ~attempts events) with
+      | [] -> Ok ()
+      | diags ->
+          Fmt.pr "%a" Sanalysis.Diag.pp_report diags;
+          Error (`Msg "trace audit (SA045) failed"))
+
 let optimize run_exec =
-  let f machines budget no_ext verbose audit dot inject rate workers script =
+  let f machines budget no_ext verbose audit dot inject rate workers trace
+      script =
     setup_logs verbose;
+    if trace <> None then Sobs.Trace.start ();
+    let attempts_acc = ref [] in
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
     let config =
@@ -248,6 +300,8 @@ let optimize run_exec =
           Sexec.Validate.check ~verify_props:true ~workers ~machines catalog
             r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
         in
+        attempts_acc := !attempts_acc @ [ v.Sexec.Validate.attempts ];
+        r.Cse.Pipeline.exec <- Some (exec_summary workers v);
         Fmt.pr
           "execution: results %s; %d rows shuffled, %d rows extracted, shared \
            results materialized %d time(s), read %d time(s)@."
@@ -275,6 +329,7 @@ let optimize run_exec =
                       ~machines catalog r.Cse.Pipeline.dag
                       r.Cse.Pipeline.cse_plan
                   in
+                  attempts_acc := !attempts_acc @ [ vf.Sexec.Validate.attempts ];
                   let identical =
                     Sexec.Validate.identical_outputs v.Sexec.Validate.outputs
                       vf.Sexec.Validate.outputs
@@ -301,21 +356,29 @@ let optimize run_exec =
         else injected
       end
     in
+    let trace_result =
+      match trace with
+      | None -> Ok ()
+      | Some path -> finish_trace ~attempts:!attempts_acc path
+    in
     match exec_result with
     | Error _ as e -> e
-    | Ok () ->
-        if config.Cse.Config.audit then begin
-          let code = run_audit ~strict:false ~cluster ~catalog r in
-          if code <> 0 then Error (`Msg "audit found errors") else Ok ()
-        end
-        else Ok ()
+    | Ok () -> (
+        match trace_result with
+        | Error _ as e -> e
+        | Ok () ->
+            if config.Cse.Config.audit then begin
+              let code = run_audit ~strict:false ~cluster ~catalog r in
+              if code <> 0 then Error (`Msg "audit found errors") else Ok ()
+            end
+            else Ok ())
   in
   Term.(
     term_result
-      (const (fun m b e v a d i p w file builtin ->
-           Result.bind (read_script file builtin) (f m b e v a d i p w))
+      (const (fun m b e v a d i p w t file builtin ->
+           Result.bind (read_script file builtin) (guard (f m b e v a d i p w t)))
       $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ audit_arg
-      $ dot_arg $ inject_arg $ rate_arg $ workers_arg $ file_arg
+      $ dot_arg $ inject_arg $ rate_arg $ workers_arg $ trace_arg $ file_arg
       $ builtin_arg))
 
 let optimize_cmd =
@@ -329,6 +392,199 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Optimize and execute on the simulated cluster, validating results")
     (optimize true)
+
+(* --- report ------------------------------------------------------------ *)
+
+let json_of_hist (s : Sobs.Hist.summary) =
+  Sobs.Json.Obj
+    [
+      ("count", Sobs.Json.Num (float_of_int s.Sobs.Hist.count));
+      ("sum", Sobs.Json.Num s.Sobs.Hist.sum);
+      ("p50", Sobs.Json.Num s.Sobs.Hist.p50);
+      ("p90", Sobs.Json.Num s.Sobs.Hist.p90);
+      ("max", Sobs.Json.Num s.Sobs.Hist.max);
+      ( "buckets",
+        Sobs.Json.Arr
+          (List.map
+             (fun (ub, c) ->
+               Sobs.Json.Arr
+                 [ Sobs.Json.Num ub; Sobs.Json.Num (float_of_int c) ])
+             s.Sobs.Hist.buckets) );
+    ]
+
+(* The machine-readable run report.  Schema "scopecse-run-report/1":
+   optimization costs and task counts from the pipeline report, the
+   execution outcome (wall, per-worker busy, utilization, per-stage
+   timeline with wave depths), full counter deltas and histogram
+   summaries.  Documented in README.md; new fields may be added, existing
+   ones keep their meaning. *)
+let json_report ~machines ~workers (r : Cse.Pipeline.report)
+    (v : Sexec.Validate.outcome) ~counters =
+  let num f = Sobs.Json.Num f in
+  let int i = num (float_of_int i) in
+  let graph = Sexec.Stage.build r.Cse.Pipeline.cse_plan in
+  let depths = Sexec.Stage.depths graph in
+  let stages =
+    Sobs.Json.Arr
+      (List.init (Array.length v.Sexec.Validate.attempts) (fun sid ->
+           Sobs.Json.Obj
+             [
+               ("id", int sid);
+               ("depth", int depths.(sid));
+               ("attempts", int v.Sexec.Validate.attempts.(sid));
+               ("seconds", num v.Sexec.Validate.seconds.(sid));
+             ]))
+  in
+  let exec_sum = exec_summary workers v in
+  Sobs.Json.Obj
+    [
+      ("schema", Sobs.Json.Str "scopecse-run-report/1");
+      ("machines", int machines);
+      ( "optimization",
+        Sobs.Json.Obj
+          [
+            ("conventional_cost", num r.Cse.Pipeline.conventional_cost);
+            ("cse_cost", num r.Cse.Pipeline.cse_cost);
+            ("cost_ratio", num (Cse.Pipeline.ratio r));
+            ("conventional_tasks", int r.Cse.Pipeline.conventional_tasks);
+            ("cse_tasks", int r.Cse.Pipeline.cse_tasks);
+            ("conventional_time_s", num r.Cse.Pipeline.conventional_time);
+            ("cse_time_s", num r.Cse.Pipeline.cse_time);
+            ("shared_groups", int (List.length r.Cse.Pipeline.shared));
+            ("rounds_executed", int r.Cse.Pipeline.rounds_executed);
+            ("rounds_naive", int r.Cse.Pipeline.rounds_naive);
+            ("rounds_sequential", int r.Cse.Pipeline.rounds_sequential);
+            ( "budget_exhausted",
+              Sobs.Json.Bool r.Cse.Pipeline.budget_exhausted );
+            ( "lcas",
+              Sobs.Json.Arr
+                (List.map
+                   (fun (s, l) ->
+                     Sobs.Json.Obj [ ("shared", int s); ("lca", int l) ])
+                   r.Cse.Pipeline.lcas) );
+          ] );
+      ( "execution",
+        Sobs.Json.Obj
+          [
+            ("ok", Sobs.Json.Bool v.Sexec.Validate.ok);
+            ("workers", int workers);
+            ("wall_s", num v.Sexec.Validate.wall);
+            ( "busy_s",
+              Sobs.Json.Arr
+                (Array.to_list (Array.map num v.Sexec.Validate.busy)) );
+            ("utilization", num (Cse.Pipeline.utilization exec_sum));
+            ("stage_count", int (Array.length v.Sexec.Validate.attempts));
+            ("stage_depth", int (1 + Array.fold_left max (-1) depths));
+            ("stages", stages);
+          ] );
+      ( "counters",
+        Sobs.Json.Obj (List.map (fun (n, c) -> (n, int c)) counters) );
+      ( "histograms",
+        Sobs.Json.Obj
+          (List.map (fun (n, s) -> (n, json_of_hist s)) (Sobs.Hist.snapshot ()))
+      );
+    ]
+
+let report_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the run report as JSON (schema scopecse-run-report/1) \
+             instead of the human-readable summary.")
+  in
+  let f machines budget no_ext verbose workers trace json script =
+    setup_logs verbose;
+    if trace <> None then Sobs.Trace.start ();
+    let counters_before = Sutil.Counters.snapshot () in
+    let catalog = make_catalog script in
+    let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
+    let config =
+      if no_ext then Cse.Config.no_extensions else Cse.Config.default
+    in
+    let budget =
+      Option.map (fun s -> Sopt.Budget.create ~max_seconds:s ()) budget
+    in
+    let r = Cse.Pipeline.run ~config ?budget ~cluster ~catalog script in
+    let v =
+      Sexec.Validate.check ~verify_props:true ~workers ~machines catalog
+        r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+    in
+    r.Cse.Pipeline.exec <- Some (exec_summary workers v);
+    let counters = Sutil.Counters.since counters_before in
+    let trace_result =
+      match trace with
+      | None -> Ok ()
+      | Some path ->
+          finish_trace ~attempts:[ v.Sexec.Validate.attempts ] path
+    in
+    if json then
+      print_string
+        (Sobs.Json.to_string (json_report ~machines ~workers r v ~counters))
+    else begin
+      Fmt.pr "%a" Cse.Pipeline.pp_steps r;
+      Fmt.pr "%a" Cse.Pipeline.pp_exec (exec_summary workers v);
+      Fmt.pr "%a" Cse.Pipeline.pp_counters counters;
+      Fmt.pr "%a" Sobs.Hist.pp ()
+    end;
+    if not v.Sexec.Validate.ok then Error (`Msg "execution mismatch")
+    else trace_result
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Optimize and execute a script, then emit one run report: plan \
+          costs, task counts, counter deltas, histograms, per-stage \
+          timeline and worker utilization (--json for the machine-readable \
+          form)")
+    Term.(
+      term_result
+        (const (fun m b e v w t j file builtin ->
+             Result.bind (read_script file builtin) (guard (f m b e v w t j)))
+        $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ workers_arg
+        $ trace_arg $ json_arg $ file_arg $ builtin_arg))
+
+(* --- check-trace -------------------------------------------------------- *)
+
+let check_trace_cmd =
+  let f file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Sobs.Trace.parse_chrome s with
+    | exception Sobs.Trace.Malformed msg -> Error (`Msg msg)
+    | events -> (
+        match Sobs.Trace.check events with
+        | [] ->
+            let tids =
+              List.sort_uniq compare
+                (List.map (fun (e : Sobs.Trace.event) -> e.Sobs.Trace.tid)
+                   events)
+            in
+            Fmt.pr "trace OK: %d events across %d worker(s)@."
+              (List.length events) (List.length tids);
+            Ok ()
+        | errs ->
+            List.iter (fun e -> Fmt.pr "%s@." e) errs;
+            Error
+              (`Msg
+                (Printf.sprintf "%d well-formedness violation(s)"
+                   (List.length errs))))
+  in
+  Cmd.v
+    (Cmd.info "check-trace"
+       ~doc:
+         "Parse a Chrome trace-event file written by --trace and check its \
+          well-formedness (balanced spans, per-worker monotone timestamps)")
+    Term.(
+      term_result
+        (const f
+        $ Arg.(
+            required
+            & pos 0 (some file) None
+            & info [] ~docv:"TRACE" ~doc:"Trace JSON file.")))
 
 (* --- lint -------------------------------------------------------------- *)
 
@@ -403,6 +659,15 @@ let main =
        ~doc:
          "Cost-based common-subexpression optimization for cloud query \
           processing (ICDE 2012 reproduction)")
-    [ parse_cmd; explain_cmd; optimize_cmd; run_cmd; lint_cmd; workload_cmd ]
+    [
+      parse_cmd;
+      explain_cmd;
+      optimize_cmd;
+      run_cmd;
+      report_cmd;
+      check_trace_cmd;
+      lint_cmd;
+      workload_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -16,7 +16,7 @@ type location =
 
 type t = { code : string; severity : severity; loc : location; message : string }
 
-(* One entry per diagnostic the four passes can emit.  Codes are stable:
+(* One entry per diagnostic the audit passes can emit.  Codes are stable:
    tests assert on them and users grep for them; never renumber. *)
 let catalog =
   [
@@ -50,6 +50,8 @@ let catalog =
     ("SA042", Warning, "non-spool subtree shared across stage references");
     ("SA043", Error, "OUTPUT or SEQUENCE outside the sink stage");
     ("SA044", Error, "stage not reachable from the sink through dependencies");
+    (* trace audit *)
+    ("SA045", Error, "executed stage missing from or duplicated in the trace");
   ]
 
 let default_severity code =

@@ -23,6 +23,16 @@ let log_src = Logs.Src.create "scopecse.phase2" ~doc:"CSE re-optimization"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Wall time of each re-optimization round; always on (rounds are
+   heavyweight: a full optimization pass under an enforcement map). *)
+let round_seconds = Sobs.Hist.hist "opt.round_seconds"
+
+let pp_assignment assignment =
+  String.concat "; "
+    (List.map
+       (fun (s, props) -> Fmt.str "%d -> %a" s Sphys.Reqprops.pp props)
+       assignment)
+
 type state = {
   config : Config.t;
   history : History.t;
@@ -150,14 +160,31 @@ let run_rounds state (t : Optimizer.t) (g : Smemo.Memo.group)
     else
       match Rounds.next gen with
       | None -> continue_ := false
-      | Some assignment -> (
+      | Some assignment ->
           Budget.note_round_executed t.Optimizer.budget;
           state.rounds_executed <- state.rounds_executed + 1;
           let ext' =
             Extreq.normalize
               { extreq with Extreq.enforce = extreq.Extreq.enforce @ assignment }
           in
-          match log_phys_opt g ext' with
+          if Sobs.Trace.enabled () then
+            Sobs.Trace.begin_span ~pid:Sobs.Trace.pid_phase2
+              ~args:
+                [
+                  ("lca", Sobs.Trace.Int g.Smemo.Memo.id);
+                  ("round", Sobs.Trace.Int (Rounds.generated gen));
+                  ("assignment", Sobs.Trace.Str (pp_assignment assignment));
+                ]
+              "ReoptimizeRound";
+          let rt0 = Unix.gettimeofday () in
+          let finish cost =
+            Sobs.Hist.observe round_seconds (Unix.gettimeofday () -. rt0);
+            if Sobs.Trace.enabled () then
+              Sobs.Trace.end_span ~pid:Sobs.Trace.pid_phase2
+                ~args:[ ("cost", Sobs.Trace.Float cost) ]
+                "ReoptimizeRound"
+          in
+          (match log_phys_opt g ext' with
           | Some p ->
               (* feedback steering the sequential enumeration: use the
                  walking cost so the last-ulp noise of the cached closure
@@ -166,21 +193,30 @@ let run_rounds state (t : Optimizer.t) (g : Smemo.Memo.group)
               Log.debug (fun m ->
                   m "round %d at LCA %d: {%s} -> cost %.6g"
                     (Rounds.generated gen) g.Smemo.Memo.id
-                    (String.concat "; "
-                       (List.map
-                          (fun (s, props) ->
-                            Fmt.str "%d ↦ %a" s Sphys.Reqprops.pp props)
-                          assignment))
-                    cost);
+                    (pp_assignment assignment) cost);
               Rounds.report gen ~cost;
-              candidates := p :: !candidates
+              candidates := p :: !candidates;
+              finish cost
           | None ->
               Log.debug (fun m ->
                   m "round %d at LCA %d: infeasible assignment"
                     (Rounds.generated gen) g.Smemo.Memo.id);
-              Rounds.report gen ~cost:infinity)
+              Rounds.report gen ~cost:infinity;
+              finish infinity)
   done;
-  Optimizer.cheapest t !candidates
+  let winner = Optimizer.cheapest t !candidates in
+  (if Sobs.Trace.enabled () then
+     let args =
+       match winner with
+       | Some p ->
+           [
+             ("lca", Sobs.Trace.Int g.Smemo.Memo.id);
+             ("cost", Sobs.Trace.Float (Scost.Dagcost.cost t.Optimizer.cluster p));
+           ]
+       | None -> [ ("lca", Sobs.Trace.Int g.Smemo.Memo.id) ]
+     in
+     Sobs.Trace.instant ~pid:Sobs.Trace.pid_phase2 ~args "round.winner");
+  winner
 
 let intercept state (t : Optimizer.t) (g : Smemo.Memo.group)
     (extreq : Extreq.t) ~self ~log_phys_opt =
@@ -193,6 +229,14 @@ let intercept state (t : Optimizer.t) (g : Smemo.Memo.group)
         (* pinned shared group: one base plan under the enforced
            properties, shared by every consumer; per-consumer enforcers on
            top when the original requirement asks for more *)
+        if Sobs.Trace.enabled () then
+          Sobs.Trace.instant ~pid:Sobs.Trace.pid_phase2
+            ~args:
+              [
+                ("group", Sobs.Trace.Int g.Smemo.Memo.id);
+                ("props", Sobs.Trace.Str (Fmt.str "%a" Reqprops.pp pinned));
+              ]
+            "pinned.shared";
         let inner =
           Extreq.normalize
             {
@@ -242,9 +286,15 @@ let optimize ?(config = Config.default) ?budget ~cluster
   let state = create config in
   let t = Optimizer.create ?budget ~ext:(make_ext state) ~cluster memo in
   t.Optimizer.phase <- 1;
-  let p1 = Optimizer.optimize_root t in
+  let p1 =
+    Sobs.Trace.with_span ~pid:Sobs.Trace.pid_phase1 "phase 1" (fun () ->
+        Optimizer.optimize_root t)
+  in
   (* Step 3: propagate shared-group info and identify LCAs *)
-  let si = Shared_info.compute memo in
+  let si =
+    Sobs.Trace.with_span ~pid:Sobs.Trace.pid_phase2
+      "shared-info (Algorithm 3)" (fun () -> Shared_info.compute memo)
+  in
   state.si <- Some si;
   Log.info (fun m ->
       m "phase 1 done (%d tasks); LCAs: %s" t.Optimizer.budget.Budget.tasks
@@ -253,7 +303,10 @@ let optimize ?(config = Config.default) ?budget ~cluster
               (fun s l acc -> Fmt.str "%d->%d" s l :: acc)
               si.Shared_info.lca [])));
   t.Optimizer.phase <- 2;
-  let p2 = Optimizer.optimize_root t in
+  let p2 =
+    Sobs.Trace.with_span ~pid:Sobs.Trace.pid_phase2 "phase 2" (fun () ->
+        Optimizer.optimize_root t)
+  in
   Log.info (fun m ->
       m "phase 2 done: %d rounds executed at %d LCA sites"
         state.rounds_executed state.lca_sites);

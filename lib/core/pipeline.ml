@@ -9,6 +9,23 @@ open Sphys
    - *CSE*: Algorithm 1 spool insertion, phase 1 with history recording,
      Algorithm 3, and the phase-2 re-optimization (Figure 8(b)). *)
 
+(* Plain execution-summary data: this module cannot depend on the
+   executor (cse sits below sexec in the library order), so callers that
+   run plans hand the figures over and share one output format. *)
+type exec_summary = {
+  workers : int;  (* executor domain-pool width *)
+  wall_s : float;  (* execution wall-clock seconds *)
+  busy_s : float array;  (* per-worker seconds spent executing *)
+}
+
+(* Fraction of the pool's total wall-time capacity spent inside tasks,
+   in [0, 1]. *)
+let utilization (e : exec_summary) =
+  let busy_total = Array.fold_left ( +. ) 0.0 e.busy_s in
+  if e.wall_s > 0.0 && Array.length e.busy_s > 0 then
+    busy_total /. (e.wall_s *. float_of_int (Array.length e.busy_s))
+  else 0.0
+
 type report = {
   script : string;
   dag : Slogical.Dag.t;
@@ -36,6 +53,10 @@ type report = {
   shared_info : Shared_info.t;
   counters : (string * int) list;
   (* hot-path counter deltas over this run (Sutil.Counters), by name *)
+  mutable exec : exec_summary option;
+  (* filled in by callers that execute the CSE plan, so downstream
+     consumers (JSON report, bench comparison) see utilization and
+     wall time instead of a print-only summary *)
 }
 
 (* Named-counter deltas, one "name=value" list on a line.  Shared by
@@ -46,22 +67,8 @@ let pp_counters ppf (counters : (string * int) list) =
     (String.concat "; "
        (List.map (fun (n, v) -> Fmt.str "%s=%d" n v) counters))
 
-(* Plain execution-summary data: this module cannot depend on the
-   executor (cse sits below sexec in the library order), so callers that
-   run plans hand the figures over and share one output format. *)
-type exec_summary = {
-  workers : int;  (* executor domain-pool width *)
-  wall_s : float;  (* execution wall-clock seconds *)
-  busy_s : float array;  (* per-worker seconds spent executing *)
-}
-
 let pp_exec ppf (e : exec_summary) =
-  let busy_total = Array.fold_left ( +. ) 0.0 e.busy_s in
-  let util =
-    if e.wall_s > 0.0 && Array.length e.busy_s > 0 then
-      100.0 *. busy_total /. (e.wall_s *. float_of_int (Array.length e.busy_s))
-    else 0.0
-  in
+  let util = 100.0 *. utilization e in
   Fmt.pf ppf "exec: workers=%d wall=%.2fms busy=[%s] util=%.0f%%@." e.workers
     (1000.0 *. e.wall_s)
     (String.concat " "
@@ -116,14 +123,26 @@ let timed f =
 let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     ~(catalog : Relalg.Catalog.t) (script : string) : report =
   let counters_before = Sutil.Counters.snapshot () in
-  let ast = Slang.Parser.parse_script script in
-  let dag = Slogical.Binder.bind ~catalog ast in
+  let fe = Sobs.Trace.pid_frontend in
+  let ast =
+    Sobs.Trace.with_span ~pid:fe "parse" (fun () ->
+        Slang.Parser.parse_script script)
+  in
+  let dag =
+    Sobs.Trace.with_span ~pid:fe "bind" (fun () ->
+        Slogical.Binder.bind ~catalog ast)
+  in
   let machines = cluster.Scost.Cluster.machines in
   (* conventional baseline *)
-  let conv_memo = Smemo.Memo.of_dag ~catalog ~machines dag in
+  let conv_memo =
+    Sobs.Trace.with_span ~pid:fe "memo (conventional)" (fun () ->
+        Smemo.Memo.of_dag ~catalog ~machines dag)
+  in
   let conv_ctx = Sopt.Optimizer.create ~cluster conv_memo in
   let conv_plan, conventional_time =
-    timed (fun () -> Sopt.Optimizer.optimize_root conv_ctx)
+    timed (fun () ->
+        Sobs.Trace.with_span ~pid:Sobs.Trace.pid_phase1 "conventional optimize"
+          (fun () -> Sopt.Optimizer.optimize_root conv_ctx))
   in
   let conventional_plan =
     match conv_plan with
@@ -131,8 +150,14 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     | None -> raise (No_plan "conventional optimization produced no plan")
   in
   (* CSE optimization *)
-  let memo = Smemo.Memo.of_dag ~catalog ~machines dag in
-  let shared = Spool.identify ~config memo in
+  let memo =
+    Sobs.Trace.with_span ~pid:fe "memo (cse)" (fun () ->
+        Smemo.Memo.of_dag ~catalog ~machines dag)
+  in
+  let shared =
+    Sobs.Trace.with_span ~pid:fe "identify shared (Algorithm 1)" (fun () ->
+        Spool.identify ~config memo)
+  in
   let outcome, cse_time =
     timed (fun () ->
         let budget =
@@ -196,4 +221,5 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     candidate_props;
     shared_info = si;
     counters = Sutil.Counters.since counters_before;
+    exec = None;
   }

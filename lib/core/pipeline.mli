@@ -6,6 +6,19 @@
     Algorithm 1 spool insertion, phase 1 with history recording,
     Algorithm 3, and the phase-2 re-optimization (Figure 8(b)). *)
 
+(** Execution summary handed over by callers that run plans (this module
+    does not depend on the executor): domain-pool width, execution wall
+    seconds, and per-worker busy seconds. *)
+type exec_summary = {
+  workers : int;
+  wall_s : float;
+  busy_s : float array;
+}
+
+(** Fraction of the pool's wall-time capacity spent inside tasks, in
+    [0, 1]: total busy seconds over [wall_s * #workers]. *)
+val utilization : exec_summary -> float
+
 type report = {
   script : string;
   dag : Slogical.Dag.t;
@@ -37,19 +50,15 @@ type report = {
           hits/misses, optimizer tasks, intern hits/misses — by name.  The
           execution engine's [exec.*] counters (stages, vertices, retries,
           recomputed rows) land in the same registry when plans run. *)
+  mutable exec : exec_summary option;
+      (** execution summary of the CSE plan, filled in by callers that
+          actually run it ([scopeopt run], the bench harness) so the
+          JSON report and [bench/compare] can consume utilization and
+          wall time; [None] when the plans were only optimized *)
 }
 
 (** Named-counter deltas as one "counters: name=value; ..." line. *)
 val pp_counters : (string * int) list Fmt.t
-
-(** Execution summary handed over by callers that run plans (this module
-    does not depend on the executor): domain-pool width, execution wall
-    seconds, and per-worker busy seconds. *)
-type exec_summary = {
-  workers : int;
-  wall_s : float;
-  busy_s : float array;
-}
 
 (** One "exec: workers=N wall=..ms busy=[..] util=..%" line. *)
 val pp_exec : exec_summary Fmt.t

@@ -475,7 +475,10 @@ let dist_rows (d : dist) =
   Array.fold_left (fun acc p -> acc + List.length p) 0 d.parts
 
 let execute t (plan : Plan.t) : dist =
-  let graph = Stage.build plan in
+  let graph =
+    Sobs.Trace.with_span ~pid:Sobs.Trace.pid_stage "build stage graph"
+      (fun () -> Stage.build plan)
+  in
   let faults =
     Option.map (fun s -> Faults.create ~machines:t.machines s) t.faults
   in
@@ -489,6 +492,14 @@ let execute t (plan : Plan.t) : dist =
      report at every worker count *)
   let viol_slots = Array.make (Stage.size graph) [] in
   let t0 = Unix.gettimeofday () in
+  if Sobs.Trace.enabled () then
+    Sobs.Trace.begin_span ~pid:Sobs.Trace.pid_exec
+      ~args:
+        [
+          ("stages", Sobs.Trace.Int (Stage.size graph));
+          ("workers", Sobs.Trace.Int t.workers);
+        ]
+      "run stages";
   let outcome =
     Sutil.Pool.with_pool ~workers:t.workers (fun pool ->
         let outcome =
@@ -510,6 +521,8 @@ let execute t (plan : Plan.t) : dist =
         t.last_busy <- Sutil.Pool.busy_seconds pool;
         outcome)
   in
+  if Sobs.Trace.enabled () then
+    Sobs.Trace.end_span ~pid:Sobs.Trace.pid_exec "run stages";
   t.last_wall <- Unix.gettimeofday () -. t0;
   t.prop_violations <-
     t.prop_violations

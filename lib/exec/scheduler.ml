@@ -39,6 +39,11 @@ type metrics = {
   mutable machines_failed : int;
 }
 
+(* Distribution of per-attempt stage wall time and output size; always
+   on (one observation per stage attempt, far off any inner loop). *)
+let stage_seconds_h = Sobs.Hist.hist "exec.stage_seconds"
+let stage_rows_h = Sobs.Hist.hist "exec.stage_rows"
+
 let fresh_metrics () =
   {
     stages_run = 0;
@@ -88,8 +93,20 @@ let run ~machines ?pool ?faults ?(max_attempts = Faults.default_attempts)
         List.iter
           (function
             | Faults.Lose_partition { stage; machine } ->
+                if Sobs.Trace.enabled () then
+                  Sobs.Trace.instant ~pid:Sobs.Trace.pid_exec
+                    ~args:
+                      [
+                        ("stage", Sobs.Trace.Int stage);
+                        ("machine", Sobs.Trace.Int machine);
+                      ]
+                    "fault.lose_partition";
                 mark_lost stage machine
             | Faults.Kill_machine m ->
+                if Sobs.Trace.enabled () then
+                  Sobs.Trace.instant ~pid:Sobs.Trace.pid_exec
+                    ~args:[ ("machine", Sobs.Trace.Int m) ]
+                    "fault.kill_machine";
                 metrics.machines_failed <- metrics.machines_failed + 1;
                 for i = 0 to !cached_count - 1 do
                   mark_lost cached_ids.(i) m
@@ -152,9 +169,23 @@ let run ~machines ?pool ?faults ?(max_attempts = Faults.default_attempts)
         let outputs = Array.make k None in
         pfor k (fun i ->
             let sid = wave.(i) in
+            if Sobs.Trace.enabled () then
+              Sobs.Trace.begin_span ~pid:Sobs.Trace.pid_exec
+                ~args:
+                  [
+                    ("stage", Sobs.Trace.Int sid);
+                    ("attempt", Sobs.Trace.Int attempts.(sid));
+                    ("worker", Sobs.Trace.Int (Sutil.Pool.current_slot ()));
+                  ]
+                (Printf.sprintf "stage %d" sid);
             let t0 = Unix.gettimeofday () in
             let out = execute graph.Stage.stages.(sid) ~read in
-            seconds.(sid) <- seconds.(sid) +. (Unix.gettimeofday () -. t0);
+            let dt = Unix.gettimeofday () -. t0 in
+            seconds.(sid) <- seconds.(sid) +. dt;
+            Sobs.Hist.observe stage_seconds_h dt;
+            if Sobs.Trace.enabled () then
+              Sobs.Trace.end_span ~pid:Sobs.Trace.pid_exec
+                (Printf.sprintf "stage %d" sid);
             outputs.(i) <- Some out);
         (* barrier: commit and draw faults in ascending stage id *)
         for i = 0 to k - 1 do
@@ -173,6 +204,7 @@ let run ~machines ?pool ?faults ?(max_attempts = Faults.default_attempts)
           lost.(sid) <- [||];
           metrics.stages_run <- metrics.stages_run + 1;
           metrics.vertices_run <- metrics.vertices_run + machines;
+          Sobs.Hist.observe stage_rows_h (float_of_int (rows out));
           if recovery then begin
             metrics.retries <- metrics.retries + 1;
             metrics.recomputed_rows <- metrics.recomputed_rows + rows out

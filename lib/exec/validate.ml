@@ -8,6 +8,7 @@ type outcome = {
   counters : Engine.counters;
   outputs : (string * Table.t) list;
   attempts : int array;
+  seconds : float array;
   wall : float;
   busy : float array;
 }
@@ -109,6 +110,7 @@ let check ?(datagen = Datagen.default) ?(verify_props = false) ?faults
     counters = engine.Engine.counters;
     outputs = actual;
     attempts = engine.Engine.last_attempts;
+    seconds = engine.Engine.last_seconds;
     wall = engine.Engine.last_wall;
     busy = engine.Engine.last_busy;
   }

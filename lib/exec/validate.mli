@@ -7,6 +7,7 @@ type outcome = {
   outputs : (string * Relalg.Table.t) list;
       (** the engine's OUTPUT tables, in script order *)
   attempts : int array;  (** per-stage execution counts of the run *)
+  seconds : float array;  (** per-stage wall seconds, attempts summed *)
   wall : float;  (** execution wall seconds *)
   busy : float array;  (** per-worker busy seconds *)
 }

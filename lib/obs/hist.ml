@@ -1,0 +1,134 @@
+(* Log-bucketed histograms over named registry, mirroring the shape of
+   [Sutil.Counters] so reporting code can treat both uniformly.
+
+   Observations land in power-of-two buckets chosen by the float's
+   binary exponent ([Float.frexp]) — one array index computation, no
+   allocation, no comparison ladder.  Buckets are [int Atomic.t]
+   increments; the running sum and max are CAS loops over boxed float
+   atomics.  All of it is safe to call concurrently from pool workers.
+
+   Quantiles are read from the cumulative bucket counts and reported as
+   the matched bucket's upper bound — an overestimate by at most 2x,
+   which is the usual contract for log-bucketed histograms and plenty
+   for "where did the time go" questions. *)
+
+(* Bucket [k] covers [2^(k-41), 2^(k-40)); k = frexp exponent + 40,
+   clamped.  Bucket 0 also absorbs zero and negative observations. *)
+let nbuckets = 80
+let bias = 40
+
+let bucket_of v =
+  if v <= 0.0 || not (Float.is_finite v) then if v > 0.0 then nbuckets - 1 else 0
+  else
+    let _, e = Float.frexp v in
+    max 0 (min (nbuckets - 1) (e + bias))
+
+let upper_bound k = Float.ldexp 1.0 (k - bias)
+
+type t = {
+  name : string;
+  buckets : int Atomic.t array;
+  sum : float Atomic.t;
+  maxv : float Atomic.t;
+}
+
+type summary = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p90 : float;
+  max : float;
+  buckets : (float * int) list;  (* nonzero buckets: upper bound, count *)
+}
+
+let mu = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let hist name =
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              name;
+              buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+              sum = Atomic.make 0.0;
+              maxv = Atomic.make neg_infinity;
+            }
+          in
+          Hashtbl.add registry name h;
+          h)
+
+let rec cas_update a f =
+  let cur = Atomic.get a in
+  let next = f cur in
+  if next <> cur && not (Atomic.compare_and_set a cur next) then cas_update a f
+
+let observe (h : t) v =
+  Atomic.incr h.buckets.(bucket_of v);
+  cas_update h.sum (fun s -> s +. v);
+  cas_update h.maxv (fun m -> Float.max m v)
+
+let name h = h.name
+
+let summarize (h : t) =
+  let counts = Array.map Atomic.get h.buckets in
+  let count = Array.fold_left ( + ) 0 counts in
+  let max =
+    let m = Atomic.get h.maxv in
+    if Float.is_finite m then m else 0.0
+  in
+  let quantile q =
+    if count = 0 then 0.0
+    else begin
+      let target = Float.to_int (Float.round (q *. float_of_int count)) in
+      let target = Stdlib.max 1 (Stdlib.min count target) in
+      let k = ref 0 and cum = ref 0 in
+      while !cum < target && !k < nbuckets do
+        cum := !cum + counts.(!k);
+        if !cum < target then incr k
+      done;
+      Float.min max (upper_bound !k)
+    end
+  in
+  let buckets = ref [] in
+  for k = nbuckets - 1 downto 0 do
+    if counts.(k) > 0 then buckets := (upper_bound k, counts.(k)) :: !buckets
+  done;
+  {
+    count;
+    sum = Atomic.get h.sum;
+    p50 = quantile 0.5;
+    p90 = quantile 0.9;
+    max;
+    buckets = !buckets;
+  }
+
+let snapshot () =
+  let hs = Mutex.protect mu (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) registry []) in
+  hs
+  |> List.filter_map (fun h ->
+         let s = summarize h in
+         if s.count = 0 then None else Some (h.name, s))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_all () =
+  Mutex.protect mu (fun () ->
+      Hashtbl.iter
+        (fun _ (h : t) ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.sum 0.0;
+          Atomic.set h.maxv neg_infinity)
+        registry)
+
+let pp ppf () =
+  let snap = snapshot () in
+  if snap <> [] then begin
+    Fmt.pf ppf "histograms:@,";
+    List.iter
+      (fun (n, s) ->
+        Fmt.pf ppf "  %-26s count=%-6d sum=%-10.4g p50=%-8.3g p90=%-8.3g max=%.3g@,"
+          n s.count s.sum s.p50 s.p90 s.max)
+      snap
+  end

@@ -1,0 +1,39 @@
+(** Log-bucketed histograms in a named registry, the distribution-shaped
+    companion to {!Sutil.Counters}.
+
+    Observations are bucketed by their binary exponent into power-of-two
+    buckets spanning [2{^-41}..2{^39}] (seconds, rows, anything
+    positive); zero and negatives fall into the lowest bucket.
+    Recording is lock-free and domain-safe: one atomic bucket increment
+    plus CAS-maintained running sum and max. *)
+
+type t
+
+type summary = {
+  count : int;
+  sum : float;
+  p50 : float;  (** upper bound of the median bucket, clamped to [max] *)
+  p90 : float;
+  max : float;
+  buckets : (float * int) list;
+      (** nonzero buckets as [(upper_bound, count)], ascending *)
+}
+
+(** Find or register the histogram named [name]. *)
+val hist : string -> t
+
+(** Record one observation.  Domain-safe. *)
+val observe : t -> float -> unit
+
+val name : t -> string
+val summarize : t -> summary
+
+(** All histograms with at least one observation, sorted by name. *)
+val snapshot : unit -> (string * summary) list
+
+(** Zero every registered histogram (tests, repeated bench runs). *)
+val reset_all : unit -> unit
+
+(** Render the nonempty registry, one line per histogram, inside an
+    open vertical box. *)
+val pp : Format.formatter -> unit -> unit

@@ -1,0 +1,35 @@
+(** Minimal JSON value type with a writer and a full-grammar parser.
+
+    The observability layer both emits (Chrome trace files, run reports)
+    and re-reads (the CI trace checker) its own JSON; this module keeps
+    that round-trip dependency-free.  The writer pretty-prints with
+    two-space indentation; numbers that are integers print without a
+    fraction, other finite doubles as [%.17g] (round-trip exact),
+    non-finite as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** JSON string literal for [s], quotes included. *)
+val escape : string -> string
+
+(** Pretty-printed document, newline-terminated. *)
+val to_string : t -> string
+
+exception Parse_error of string
+
+(** Parse a complete JSON document.  Raises {!Parse_error} with an offset
+    on malformed input. *)
+val parse : string -> t
+
+(** Field of an object; [None] on a non-object or a missing field. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,101 @@
+(** Begin/end spans and instant events, recorded into per-domain buffers
+    and exported as Chrome trace-event JSON (loadable in Perfetto).
+
+    Recording entry points are safe to call from any domain: each domain
+    appends to its own buffer without locking.  When tracing is disabled
+    (the default) every entry point is a single atomic load and a branch
+    — no allocation — so instrumentation can stay in hot loops.  Event
+    [pid] is the pipeline phase, [tid] the worker-domain slot of the
+    executor's pool ({!Sutil.Pool.current_slot}; the main domain is 0).
+
+    Typical lifecycle: {!start}, run the pipeline, {!stop}, {!collect},
+    {!write_chrome}.  {!collect} must only be called after worker
+    domains have been joined (i.e. outside [Sutil.Pool.with_pool]). *)
+
+type arg = Str of string | Int of int | Float of float
+
+type kind = Begin | End | Instant
+
+type event = {
+  kind : kind;
+  name : string;
+  pid : int;  (** pipeline phase, see the [pid_*] constants *)
+  tid : int;  (** worker-domain slot; 0 is the main domain *)
+  ts : float;  (** microseconds since {!start}, monotone per [tid] *)
+  args : (string * arg) list;
+}
+
+(** {1 Pipeline phases} *)
+
+val pid_frontend : int  (** parse, bind, memo construction *)
+
+val pid_phase1 : int  (** phase-1 (conventional) optimization *)
+
+val pid_phase2 : int  (** phase-2 CSE re-optimization *)
+
+val pid_stage : int  (** stage-graph construction *)
+
+val pid_exec : int  (** staged execution *)
+
+(** Phase id for an optimizer pass number (1 or 2). *)
+val pid_of_phase : int -> int
+
+(** Human-readable phase name, used for Chrome process metadata. *)
+val pid_name : int -> string
+
+(** {1 Control} *)
+
+(** Enable tracing into fresh buffers.  [capacity] bounds the events
+    kept per domain (default [2{^18}]); beyond it new events are dropped
+    and counted, never overwritten, so recorded spans stay balanced. *)
+val start : ?capacity:int -> unit -> unit
+
+(** Disable tracing.  Recorded events remain available to {!collect}. *)
+val stop : unit -> unit
+
+val enabled : unit -> bool
+
+(** Events dropped to capacity since {!start}, summed over domains. *)
+val dropped : unit -> int
+
+(** {1 Recording}
+
+    All no-ops when disabled.  Spans must nest properly per domain:
+    end the most recently begun span first.  [args] given to a
+    recording call are evaluated by the caller even when tracing is
+    off — guard the construction with {!enabled} in hot paths. *)
+
+val begin_span : pid:int -> ?args:(string * arg) list -> string -> unit
+val end_span : pid:int -> ?args:(string * arg) list -> string -> unit
+val instant : pid:int -> ?args:(string * arg) list -> string -> unit
+
+(** [with_span ~pid name f] wraps [f] in a span; the span is closed even
+    if [f] raises. *)
+val with_span : pid:int -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+
+(** {1 Collection and export} *)
+
+(** Merge all per-domain buffers into one stream, stable-sorted by
+    timestamp with per-[tid] order (and hence span nesting) preserved.
+    Only call after the worker pool has been joined. *)
+val collect : unit -> event list
+
+(** Write events as a Chrome trace-event JSON document, with metadata
+    records naming each phase (process) and worker (thread). *)
+val write_chrome : out_channel -> event list -> unit
+
+(** {!write_chrome} to a string (convenience for tests). *)
+val chrome_string : event list -> string
+
+exception Malformed of string
+
+(** Re-read a Chrome trace-event document written by {!write_chrome}
+    (metadata records are skipped).  Raises {!Malformed} on documents
+    that are not traces. *)
+val parse_chrome : string -> event list
+
+(** Well-formedness: per [tid], timestamps never decrease, every [End]
+    matches the nearest unclosed [Begin] (same name and pid), and no
+    span is left open.  Returns human-readable violations, [[]] if the
+    trace is well-formed. *)
+val check : event list -> string list

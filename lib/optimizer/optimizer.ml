@@ -121,6 +121,14 @@ let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
       Atomic.incr winner_misses;
       Atomic.incr ticks;
       Budget.tick t.budget;
+      (* span only on the miss path: hits are the memoized fast path and
+         would dominate the trace without saying where time went *)
+      let traced = Sobs.Trace.enabled () in
+      let pid = Sobs.Trace.pid_of_phase t.phase in
+      if traced then
+        Sobs.Trace.begin_span ~pid
+          ~args:[ ("group", Sobs.Trace.Int g.Smemo.Memo.id) ]
+          "OptimizeGroup";
       t.ext.before_optimize t g extreq;
       let result =
         match
@@ -138,6 +146,7 @@ let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
           wplan = result;
         };
       t.ext.after_winner t g extreq result;
+      if traced then Sobs.Trace.end_span ~pid "OptimizeGroup";
       result
 
 (* Logical exploration + physical optimization of one group under one
@@ -175,7 +184,18 @@ and log_phys_opt t (g : Smemo.Memo.group) (extreq : Extreq.t) : Plan.t option
         | None -> None
         | Some inner ->
             let node = mk_plan t g alt.Enforcers.op [ inner ] in
-            if valid_candidate req node then Some node else None)
+            if valid_candidate req node then begin
+              if Sobs.Trace.enabled () then
+                Sobs.Trace.instant ~pid:(Sobs.Trace.pid_of_phase t.phase)
+                  ~args:
+                    [
+                      ("group", Sobs.Trace.Int g.Smemo.Memo.id);
+                      ("op", Sobs.Trace.Str (Physop.to_string alt.Enforcers.op));
+                    ]
+                  "enforcer";
+              Some node
+            end
+            else None)
       (Enforcers.alternatives req)
   in
   cheapest t (impl_candidates @ enforcer_candidates)

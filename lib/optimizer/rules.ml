@@ -14,6 +14,8 @@
 
 open Relalg
 
+let rule_firings = Sutil.Counters.counter "optimizer.rule_firings"
+
 (* Apply all rules of [phase] to group [g], adding new expressions (and
    possibly new groups) to the memo.  Idempotent per group and phase. *)
 let explore (memo : Smemo.Memo.t) (g : Smemo.Memo.group) ~phase =
@@ -32,6 +34,15 @@ let explore (memo : Smemo.Memo.t) (g : Smemo.Memo.group) ~phase =
                       | Slogical.Logop.Group_by_global _ -> true
                       | _ -> false)
                     (Smemo.Memo.exprs g)) ->
+            Sutil.Counters.bump rule_firings 1;
+            if Sobs.Trace.enabled () then
+              Sobs.Trace.instant ~pid:(Sobs.Trace.pid_of_phase phase)
+                ~args:
+                  [
+                    ("rule", Sobs.Trace.Str "gb_split");
+                    ("group", Sobs.Trace.Int g.Smemo.Memo.id);
+                  ]
+                "rule.fired";
             let child = List.hd e.Smemo.Memo.children in
             let child_schema = (Smemo.Memo.group memo child).Smemo.Memo.schema in
             let local_op = Slogical.Logop.Group_by_local { keys; aggs } in

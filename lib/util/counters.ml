@@ -35,14 +35,24 @@ let snapshot () =
       Hashtbl.fold (fun name r acc -> (name, Atomic.get r) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-(* Counters that moved since [before] (a [snapshot] result), with their
-   deltas; counters registered after the snapshot count from zero. *)
+(* Counters whose value differs between [before] (a [snapshot] result)
+   and now, diffed by name over the union of both snapshots.  Diffing
+   only the current snapshot would hide a counter that was bumped and
+   then reset back to its baseline by a nested run -- taking the union
+   makes [since] report every name either side has seen, and keeping
+   negative deltas (possible after an intervening [reset_all]) makes
+   the report honest instead of silently dropping the regression. *)
 let since before =
+  let now = snapshot () in
+  let union =
+    List.sort_uniq String.compare (List.map fst before @ List.map fst now)
+  in
   List.filter_map
-    (fun (name, v) ->
-      let v0 = match List.assoc_opt name before with Some v0 -> v0 | None -> 0 in
-      if v > v0 then Some (name, v - v0) else None)
-    (snapshot ())
+    (fun name ->
+      let v0 = Option.value ~default:0 (List.assoc_opt name before) in
+      let v = Option.value ~default:0 (List.assoc_opt name now) in
+      if v <> v0 then Some (name, v - v0) else None)
+    union
 
 let reset_all () =
   Mutex.protect registry_mu (fun () ->

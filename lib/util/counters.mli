@@ -27,9 +27,13 @@ val get : string -> int
 (** All counters with their current values, sorted by name. *)
 val snapshot : unit -> (string * int) list
 
-(** Counters that moved since [before] (a {!snapshot} result), with
-    their deltas.  Counters registered after the snapshot count from
-    zero. *)
+(** Counters whose value changed since [before] (a {!snapshot} result),
+    with their deltas, diffed by name over the {e union} of the two
+    snapshots.  Counters registered after the snapshot count from zero;
+    counters present in [before] but back at their old value (e.g.
+    bumped and reset by a nested run) are absent — only nonzero deltas
+    are reported, and a delta can be negative if {!reset_all} ran in
+    between.  Sorted by name. *)
 val since : (string * int) list -> (string * int) list
 
 (** Zero every registered counter (tests). *)

@@ -42,6 +42,12 @@ let busy_seconds t = Array.copy t.busy
    not double-count busy time. *)
 let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* The pool slot of the calling domain.  Workers set it once at spawn;
+   any domain outside a pool (the submitter included) is slot 0.  The
+   tracing layer reads this to tag events with their worker. *)
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let current_slot () = Domain.DLS.get slot_key
+
 let run_task t ~slot (g : group) i =
   let outer = Domain.DLS.get in_task in
   let t0 = if outer then 0.0 else Unix.gettimeofday () in
@@ -71,6 +77,7 @@ let drain t ~slot (g : group) =
   done
 
 let worker t slot =
+  Domain.DLS.set slot_key slot;
   let rec loop () =
     Mutex.lock t.mu;
     while Queue.is_empty t.queue && t.live do

@@ -31,3 +31,9 @@ val parallel_init : t -> int -> (int -> 'a) -> 'a array
 (** Wall-clock seconds each worker spent inside tasks, by worker slot
     (0 = the submitting domain).  Nested loops are not double-counted. *)
 val busy_seconds : t -> float array
+
+(** Pool slot of the calling domain: a spawned worker's slot for the
+    lifetime of that domain, 0 everywhere else (the submitting domain
+    and any domain outside a pool).  Used by the tracing layer to tag
+    events with the worker that recorded them. *)
+val current_slot : unit -> int

@@ -446,6 +446,71 @@ let test_sa044_unreachable_stage () =
     (Sanalysis.Stage_audit.check_graph plan { g with Sexec.Stage.stages });
   assert_not_code "SA044" (Sanalysis.Stage_audit.run plan)
 
+(* --- trace audit (SA045) -------------------------------------------------- *)
+
+(* A synthetic execution-stage span as the scheduler records it. *)
+let stage_span ?(attempt = 1) sid : Sobs.Trace.event =
+  {
+    Sobs.Trace.kind = Sobs.Trace.Begin;
+    name = Printf.sprintf "stage %d" sid;
+    pid = Sobs.Trace.pid_exec;
+    tid = 1;
+    ts = 0.0;
+    args =
+      [ ("stage", Sobs.Trace.Int sid); ("attempt", Sobs.Trace.Int attempt) ];
+  }
+
+let sa045_codes diags =
+  List.map (fun (d : Sanalysis.Diag.t) -> d.Sanalysis.Diag.code) diags
+
+let test_sa045_clean () =
+  (* one span per (run, stage, attempt), including a retried stage and a
+     second engine run restarting attempts at 1 *)
+  let attempts = [ [| 2; 1 |]; [| 1; 1 |] ] in
+  let events =
+    [
+      stage_span 0 ~attempt:1;
+      stage_span 0 ~attempt:2;
+      stage_span 1 ~attempt:1;
+      stage_span 0 ~attempt:1;
+      stage_span 1 ~attempt:1;
+    ]
+  in
+  Alcotest.(check (list string)) "clean audit" []
+    (sa045_codes (Sanalysis.Trace_audit.run ~attempts events))
+
+let test_sa045_missing_and_duplicate () =
+  let attempts = [ [| 1; 1 |] ] in
+  Alcotest.(check (list string)) "missing span flagged" [ "SA045" ]
+    (sa045_codes
+       (Sanalysis.Trace_audit.run ~attempts [ stage_span 0 ]));
+  Alcotest.(check (list string)) "duplicate span flagged" [ "SA045" ]
+    (sa045_codes
+       (Sanalysis.Trace_audit.run ~attempts
+          [ stage_span 0; stage_span 0; stage_span 1 ]))
+
+let test_sa045_unknown_stage () =
+  let attempts = [ [| 1 |] ] in
+  Alcotest.(check (list string)) "span for unreported stage flagged"
+    [ "SA045" ]
+    (sa045_codes
+       (Sanalysis.Trace_audit.run ~attempts [ stage_span 0; stage_span 7 ]))
+
+let test_sa045_end_to_end () =
+  (* a real traced execution passes the audit *)
+  let catalog, _, r = raw_report Sworkload.Paper_scripts.s2 in
+  let plan = r.Cse.Pipeline.cse_plan in
+  Sobs.Trace.start ();
+  let engine = Sexec.Engine.create ~workers:2 ~machines:25 catalog in
+  ignore (Sexec.Engine.run engine plan);
+  Sobs.Trace.stop ();
+  let events = Sobs.Trace.collect () in
+  Alcotest.(check (list string)) "traced run audits clean" []
+    (sa045_codes
+       (Sanalysis.Trace_audit.run
+          ~attempts:[ engine.Sexec.Engine.last_attempts ]
+          events))
+
 (* --- framework ----------------------------------------------------------- *)
 
 let test_diag_framework () =
@@ -529,5 +594,14 @@ let () =
             test_sa044_unreachable_stage;
           Alcotest.test_case "SA043 output outside sink" `Quick
             test_sa043_output_outside_sink;
+        ] );
+      ( "trace audit",
+        [
+          Alcotest.test_case "SA045 clean multiset" `Quick test_sa045_clean;
+          Alcotest.test_case "SA045 missing and duplicate" `Quick
+            test_sa045_missing_and_duplicate;
+          Alcotest.test_case "SA045 unknown stage" `Quick
+            test_sa045_unknown_stage;
+          Alcotest.test_case "SA045 end to end" `Quick test_sa045_end_to_end;
         ] );
     ]

@@ -1,0 +1,235 @@
+(* Observability-layer tests: trace recording, export and re-parsing,
+   the well-formedness checker, the allocation-free disabled path, the
+   drop-newest capacity policy, log-bucketed histograms, and stability
+   of the traced pipeline across worker counts. *)
+
+module T = Sobs.Trace
+module H = Sobs.Hist
+
+(* --- trace recording and export ------------------------------------------ *)
+
+let test_chrome_roundtrip () =
+  T.start ();
+  T.with_span ~pid:T.pid_phase1
+    ~args:[ ("group", T.Int 7) ]
+    "OptimizeGroup"
+    (fun () ->
+      T.instant ~pid:T.pid_phase1
+        ~args:[ ("rule", T.Str "gb_split"); ("cost", T.Float 1.5) ]
+        "rule.fired");
+  T.stop ();
+  let evs = T.collect () in
+  Alcotest.(check (list string)) "well-formed" [] (T.check evs);
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let parsed = T.parse_chrome (T.chrome_string evs) in
+  (* timestamps are serialized at microsecond precision; compare the
+     rest of the event structurally *)
+  let strip (e : T.event) = { e with T.ts = 0.0 } in
+  Alcotest.(check bool) "round-trip preserves kind/name/pid/tid/args" true
+    (List.map strip evs = List.map strip parsed);
+  Alcotest.(check (list string)) "parsed trace well-formed" []
+    (T.check parsed)
+
+let mk kind name ts : T.event =
+  { T.kind; name; pid = 1; tid = 0; ts; args = [] }
+
+let test_check_violations () =
+  let bad msg evs =
+    Alcotest.(check bool) msg true (T.check evs <> [])
+  in
+  Alcotest.(check (list string)) "balanced trace passes" []
+    (T.check [ mk T.Begin "a" 1.0; mk T.Instant "x" 1.5; mk T.End "a" 2.0 ]);
+  bad "end without begin" [ mk T.End "a" 1.0 ];
+  bad "unclosed span" [ mk T.Begin "a" 1.0 ];
+  bad "name mismatch"
+    [ mk T.Begin "a" 1.0; mk T.End "b" 2.0; mk T.End "a" 3.0 ];
+  bad "timestamp going backwards"
+    [ mk T.Begin "a" 2.0; mk T.End "a" 1.0 ];
+  (* spans on distinct tids do not have to interleave in a stack *)
+  let other = { (mk T.Begin "b" 1.5) with T.tid = 1 } in
+  let other_end = { (mk T.End "b" 3.0) with T.tid = 1 } in
+  Alcotest.(check (list string)) "per-tid stacks are independent" []
+    (T.check
+       [ mk T.Begin "a" 1.0; other; mk T.End "a" 2.0; other_end ])
+
+let test_disabled_zero_alloc () =
+  T.stop ();
+  (* warm up once so any one-time initialization is out of the way *)
+  T.begin_span ~pid:1 "warm";
+  T.instant ~pid:1 "warm";
+  T.end_span ~pid:1 "warm";
+  let m0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    T.begin_span ~pid:1 "hot";
+    T.instant ~pid:1 "hot";
+    T.end_span ~pid:1 "hot"
+  done;
+  let m1 = Gc.minor_words () in
+  (* 30k recording calls: even one word per call would show up as 30k;
+     allow slack for the Gc.minor_words boxes themselves *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled path allocation-free (%.0f minor words)"
+       (m1 -. m0))
+    true
+    (m1 -. m0 < 256.0)
+
+let test_drop_newest () =
+  (* capacity is clamped to at least 1024 events per domain *)
+  T.start ~capacity:16 ();
+  for i = 1 to 1500 do
+    T.instant ~pid:1 ~args:[ ("i", T.Int i) ] "tick"
+  done;
+  T.stop ();
+  let evs = T.collect () in
+  Alcotest.(check int) "kept exactly capacity" 1024 (List.length evs);
+  Alcotest.(check int) "counted the overflow" 476 (T.dropped ());
+  (match evs with
+  | first :: _ ->
+      Alcotest.(check bool) "drop-newest keeps the oldest event" true
+        (List.assoc "i" first.T.args = T.Int 1)
+  | [] -> Alcotest.fail "empty trace");
+  (* a fresh generation starts clean *)
+  T.start ();
+  T.stop ();
+  Alcotest.(check int) "new generation resets drops" 0 (T.dropped ());
+  Alcotest.(check int) "new generation resets events" 0
+    (List.length (T.collect ()))
+
+(* --- traced pipeline: well-formed and stable across worker counts -------- *)
+
+(* Run the full pipeline plus a staged execution under tracing and
+   return the collected events.  The span structure (kind, phase, name)
+   must not depend on the worker count: the wave scheduler promises the
+   same logical schedule, and the optimizer runs on the main domain. *)
+let traced_run workers =
+  let catalog = Thelpers.default_catalog () in
+  T.start ();
+  let r =
+    Thelpers.pipeline
+      ~config:{ Cse.Config.default with Cse.Config.audit = false }
+      ~catalog Sworkload.Paper_scripts.s2
+  in
+  let engine = Sexec.Engine.create ~workers ~machines:25 catalog in
+  ignore (Sexec.Engine.run engine r.Cse.Pipeline.cse_plan);
+  T.stop ();
+  T.collect ()
+
+let projection evs =
+  List.map
+    (fun (e : T.event) ->
+      Printf.sprintf "%s|%d|%s"
+        (match e.T.kind with
+        | T.Begin -> "B"
+        | T.End -> "E"
+        | T.Instant -> "i")
+        e.T.pid e.T.name)
+    evs
+  |> List.sort String.compare
+
+let test_pipeline_trace_stability () =
+  let base = traced_run 1 in
+  Alcotest.(check (list string)) "workers=1 well-formed" [] (T.check base);
+  let proj1 = projection base in
+  Alcotest.(check bool) "has stage spans" true
+    (List.mem "B|5|stage 0" proj1);
+  Alcotest.(check bool) "has stage-graph span" true
+    (List.mem "B|4|build stage graph" proj1);
+  Alcotest.(check bool) "has phase-2 span" true (List.mem "B|3|phase 2" proj1);
+  Alcotest.(check bool) "has optimizer group spans" true
+    (List.mem "B|2|OptimizeGroup" proj1);
+  List.iter
+    (fun workers ->
+      let evs = traced_run workers in
+      Alcotest.(check (list string))
+        (Printf.sprintf "workers=%d well-formed" workers)
+        [] (T.check evs);
+      Alcotest.(check (list string))
+        (Printf.sprintf "workers=%d same span multiset as workers=1" workers)
+        proj1 (projection evs))
+    [ 2; 8 ]
+
+(* --- histograms ----------------------------------------------------------- *)
+
+let test_hist_quantiles () =
+  H.reset_all ();
+  let h = H.hist "test.quantiles" in
+  List.iter (H.observe h) [ 0.5; 1.0; 4.0 ];
+  let s = H.summarize h in
+  Alcotest.(check int) "count" 3 s.H.count;
+  Alcotest.(check (float 1e-9)) "sum" 5.5 s.H.sum;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.H.max;
+  (* p50 is the upper bound of the median bucket [1,2) *)
+  Alcotest.(check (float 1e-9)) "p50" 2.0 s.H.p50;
+  (* p90 lands in the [4,8) bucket, clamped to the observed max *)
+  Alcotest.(check (float 1e-9)) "p90" 4.0 s.H.p90;
+  Alcotest.(check bool) "bucket upper bounds" true
+    (List.map fst s.H.buckets = [ 1.0; 2.0; 8.0 ])
+
+let test_hist_low_bucket () =
+  H.reset_all ();
+  let h = H.hist "test.lowbucket" in
+  H.observe h 0.0;
+  H.observe h (-1.0);
+  let s = H.summarize h in
+  Alcotest.(check int) "zero and negatives counted" 2 s.H.count;
+  Alcotest.(check bool) "both in the lowest bucket" true
+    (s.H.buckets = [ (Float.ldexp 1.0 (-40), 2) ]);
+  Alcotest.(check (float 1e-9)) "max clamps to zero" 0.0 s.H.max
+
+let test_hist_hammer () =
+  H.reset_all ();
+  let h = H.hist "test.hammer" in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              H.observe h 1.0
+            done))
+  in
+  List.iter Domain.join ds;
+  let s = H.summarize h in
+  Alcotest.(check int) "no lost increments" 40_000 s.H.count;
+  Alcotest.(check (float 1e-6)) "no lost sum" 40_000.0 s.H.sum;
+  Alcotest.(check (float 1e-9)) "max" 1.0 s.H.max
+
+let test_hist_snapshot_reset () =
+  H.reset_all ();
+  let b = H.hist "test.snap.b" in
+  let a = H.hist "test.snap.a" in
+  H.observe b 1.0;
+  H.observe a 2.0;
+  let names = List.map fst (H.snapshot ()) in
+  Alcotest.(check bool) "snapshot sorted by name" true
+    (names = List.sort String.compare names);
+  Alcotest.(check bool) "both histograms present" true
+    (List.mem "test.snap.a" names && List.mem "test.snap.b" names);
+  H.reset_all ();
+  Alcotest.(check (list string)) "reset empties the snapshot" []
+    (List.map fst (H.snapshot ()))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "checker violations" `Quick test_check_violations;
+          Alcotest.test_case "disabled path zero-alloc" `Quick
+            test_disabled_zero_alloc;
+          Alcotest.test_case "drop-newest at capacity" `Quick test_drop_newest;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "trace stable across workers 1/2/8" `Slow
+            test_pipeline_trace_stability;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "zero and negative bucket" `Quick
+            test_hist_low_bucket;
+          Alcotest.test_case "4-domain hammer" `Quick test_hist_hammer;
+          Alcotest.test_case "snapshot and reset" `Quick
+            test_hist_snapshot_reset;
+        ] );
+    ]

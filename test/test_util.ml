@@ -110,6 +110,24 @@ let test_counters_atomic_hammer () =
   Alcotest.(check int) "exact total" (before + (4 * per_domain))
     (Sutil.Counters.get "test.hammer")
 
+let test_counters_since_union () =
+  (* [since] diffs by name over the union of the two snapshots: counters
+     registered after the snapshot count from zero, unchanged counters
+     are absent, and a reset in between yields a negative delta *)
+  let before = Sutil.Counters.snapshot () in
+  let c = Sutil.Counters.counter "test.since_union" in
+  Sutil.Counters.bump c 3;
+  let d = Sutil.Counters.since before in
+  Alcotest.(check (option int)) "counter born after snapshot is reported"
+    (Some 3)
+    (List.assoc_opt "test.since_union" d);
+  Alcotest.(check (list (pair string int))) "no change means empty delta" []
+    (Sutil.Counters.since (Sutil.Counters.snapshot ()));
+  let before = Sutil.Counters.snapshot () in
+  Sutil.Counters.reset_all ();
+  Alcotest.(check (option int)) "reset shows as negative delta" (Some (-3))
+    (List.assoc_opt "test.since_union" (Sutil.Counters.since before))
+
 let test_pool_parallel_for () =
   Sutil.Pool.with_pool ~workers:4 (fun pool ->
       let n = 1000 in
@@ -176,6 +194,8 @@ let () =
         [
           Alcotest.test_case "4-domain hammer" `Quick
             test_counters_atomic_hammer;
+          Alcotest.test_case "since diffs over union" `Quick
+            test_counters_since_union;
         ] );
       ( "pool",
         [
