@@ -559,6 +559,7 @@ type opt_record = {
   top_heap_words : int;
   exec : exec_times;
   exec_workers : int;
+  lint_deep_ms : float;
 }
 
 (* Counters and memo figures come from the first rep (later reps re-use
@@ -573,6 +574,16 @@ let bench_opt_record ~workers (w : prepared) =
     conv_time := Float.min !conv_time r.Cse.Pipeline.conventional_time;
     cse_time := Float.min !cse_time r.Cse.Pipeline.cse_time
   done;
+  (* cost of the full verifier, deep cross-layer passes included, over
+     the first rep's report (wall time, so environment-dependent and
+     exempt from the drift check like every other timing) *)
+  let lint_deep_ms =
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Sanalysis.Audit.report ~deep:true ~cluster:Scost.Cluster.default
+         ~catalog:w.catalog first);
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
   {
     rname = w.name;
     conv_time = !conv_time;
@@ -581,6 +592,7 @@ let bench_opt_record ~workers (w : prepared) =
     top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
     exec = exec_times ~workers w first;
     exec_workers = workers;
+    lint_deep_ms;
   }
 
 let json_of_record (o : opt_record) =
@@ -628,6 +640,7 @@ let json_of_record (o : opt_record) =
          \"exec_modeled_speedup\": %.2f,\n"
         o.exec.e_model1 o.exec.e_modeln
         (o.exec.e_model1 /. Float.max 1e-9 o.exec.e_modeln);
+      Printf.sprintf "     \"lint.deep_ms\": %.3f,\n" o.lint_deep_ms;
       Printf.sprintf
         "     \"conv_cost\": %.17g, \"cse_cost\": %.17g, \
          \"reduction_percent\": %.2f}"

@@ -135,14 +135,16 @@ let audit_arg =
     value & flag
     & info [ "audit" ]
         ~doc:
-          "After optimizing, run the full static-analysis audit (memo, \
-           sharing, logical-DAG and plan-DAG passes) and fail on any \
-           error-severity diagnostic.")
+          "After optimizing, run the full static-analysis audit — the \
+           per-layer passes (memo, sharing, logical-DAG, plan-DAG, stage \
+           graph) plus the deep cross-layer SA05x passes (semantic \
+           equivalence, column lineage, stage interference) — and fail on \
+           any error-severity diagnostic.")
 
 (* Run every analyzer pass over a finished pipeline report; returns the
    exit code from the diagnostic severity mapping. *)
-let run_audit ~strict ~cluster ~catalog r =
-  let diags = Sanalysis.Audit.report ~cluster ~catalog r in
+let run_audit ~deep ~strict ~cluster ~catalog r =
+  let diags = Sanalysis.Audit.report ~deep ~cluster ~catalog r in
   if diags = [] then Fmt.pr "audit clean: no diagnostics@."
   else Fmt.pr "%a" Sanalysis.Diag.pp_report diags;
   Fmt.pr "%a" Sanalysis.Diag.pp_summary diags;
@@ -247,11 +249,13 @@ let finish_trace ~attempts path =
       List.iter (fun e -> Fmt.epr "trace: %s@." e) errs;
       Error (`Msg "trace is not well-formed")
   | [] -> (
-      match Sanalysis.Diag.errors (Sanalysis.Trace_audit.run ~attempts events) with
-      | [] -> Ok ()
-      | diags ->
-          Fmt.pr "%a" Sanalysis.Diag.pp_report diags;
-          Error (`Msg "trace audit (SA045) failed"))
+      let diags = Sanalysis.Trace_audit.run ~attempts events in
+      if diags <> [] then Fmt.pr "%a" Sanalysis.Diag.pp_report diags;
+      (* propagate the worst severity to the process exit status instead
+         of silently swallowing non-error findings *)
+      match Sanalysis.Diag.worst diags with
+      | Some Sanalysis.Diag.Error -> Error (`Msg "trace audit (SA045) failed")
+      | Some _ | None -> Ok ())
 
 let optimize run_exec =
   let f machines budget no_ext verbose audit dot inject rate workers trace
@@ -368,7 +372,7 @@ let optimize run_exec =
         | Error _ as e -> e
         | Ok () ->
             if config.Cse.Config.audit then begin
-              let code = run_audit ~strict:false ~cluster ~catalog r in
+              let code = run_audit ~deep:true ~strict:false ~cluster ~catalog r in
               if code <> 0 then Error (`Msg "audit found errors") else Ok ()
             end
             else Ok ())
@@ -594,7 +598,25 @@ let lint_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Fail on warnings as well as errors.")
   in
-  let f machines budget no_ext verbose strict script =
+  let deep_arg =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Also run the cross-layer SA05x passes: canonical semantic \
+             equivalence of every physical output against the bound logical \
+             DAG, column lineage, spool/enforcer content preservation and \
+             the stage-graph interference audit.")
+  in
+  let list_codes_arg =
+    Arg.(
+      value & flag
+      & info [ "list-codes" ]
+          ~doc:
+            "Print the diagnostic-code catalog (code, severity, layer, \
+             description) and exit; no script is needed.")
+  in
+  let f machines budget no_ext verbose strict deep script =
     setup_logs verbose;
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
@@ -612,7 +634,7 @@ let lint_cmd =
           (Slogical.Dag.size r.Cse.Pipeline.dag)
           (List.length r.Cse.Pipeline.shared)
           r.Cse.Pipeline.conventional_cost r.Cse.Pipeline.cse_cost;
-        match run_audit ~strict ~cluster ~catalog r with
+        match run_audit ~deep ~strict ~cluster ~catalog r with
         | 0 -> Ok ()
         | code -> exit code)
     | exception Slang.Parser.Error (msg, _) -> Error (`Msg msg)
@@ -624,14 +646,19 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Optimize a script, then run the full static-analysis audit (memo \
-          auditor, sharing auditor, logical-DAG lint, plan-DAG lint); exits \
-          non-zero on error diagnostics")
+          auditor, sharing auditor, logical-DAG lint, plan-DAG lint, stage \
+          audit; --deep adds the cross-layer SA05x passes); exits non-zero \
+          on error diagnostics")
     Term.(
       term_result
-        (const (fun m b e v s file builtin ->
-             Result.bind (read_script file builtin) (f m b e v s))
+        (const (fun m b e v s d codes file builtin ->
+             if codes then begin
+               Fmt.pr "%a" Sanalysis.Diag.pp_catalog ();
+               Ok ()
+             end
+             else Result.bind (read_script file builtin) (f m b e v s d))
         $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ strict_arg
-        $ file_arg $ builtin_arg))
+        $ deep_arg $ list_codes_arg $ file_arg $ builtin_arg))
 
 (* --- workload ---------------------------------------------------------- *)
 

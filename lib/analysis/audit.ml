@@ -1,11 +1,25 @@
-(* Facade: compose the four analyzer passes over a pipeline report. *)
+(* Facade: compose the analyzer passes over a pipeline report. *)
 
 let memo_and_plan ~cluster ?plan (memo : Smemo.Memo.t) =
   Memo_audit.run ~cluster memo
   @ Sharing_audit.run ?plan memo
   @ match plan with Some p -> Plan_audit.run p | None -> []
 
-let report ~cluster ~catalog (r : Cse.Pipeline.report) =
+(* The deep (cross-layer) passes: semantic equivalence, lineage and
+   interference over every plan the pipeline produced.  Costlier than the
+   per-layer shape audits, so they sit behind [deep]
+   ([scopeopt lint --deep]); tests and benches always run them. *)
+let deep_report (r : Cse.Pipeline.report) =
+  let dag = r.Cse.Pipeline.dag in
+  Equiv_audit.run ~dag ~plan:r.Cse.Pipeline.conventional_plan
+  @ Equiv_audit.run ~dag ~plan:r.Cse.Pipeline.phase1_plan
+  @ Equiv_audit.run ~dag ~plan:r.Cse.Pipeline.cse_plan
+  @ Equiv_audit.memo_lineage r.Cse.Pipeline.memo
+  @ Race_audit.run r.Cse.Pipeline.conventional_plan
+  @ Race_audit.run r.Cse.Pipeline.phase1_plan
+  @ Race_audit.run r.Cse.Pipeline.cse_plan
+
+let report ?(deep = false) ~cluster ~catalog (r : Cse.Pipeline.report) =
   let machines = cluster.Scost.Cluster.machines in
   Logical_audit.run ~catalog ~machines r.Cse.Pipeline.dag
   @ Memo_audit.run ~cluster r.Cse.Pipeline.memo
@@ -16,14 +30,18 @@ let report ~cluster ~catalog (r : Cse.Pipeline.report) =
   @ Plan_audit.run r.Cse.Pipeline.phase1_plan
   @ Plan_audit.run r.Cse.Pipeline.cse_plan
   (* the conventional baseline shares winner subplans physically by
-     design, so SA042 applies to the spool-bearing plans only *)
+     design, and the phase-1 plan materializes a shared group once per
+     property requirement with the same winner subplan under each
+     materialization — so SA042 (unspooled physical sharing) applies to
+     the final CSE plan only *)
   @ Stage_audit.run ~expect_spooled_sharing:false
       r.Cse.Pipeline.conventional_plan
-  @ Stage_audit.run r.Cse.Pipeline.phase1_plan
+  @ Stage_audit.run ~expect_spooled_sharing:false r.Cse.Pipeline.phase1_plan
   @ Stage_audit.run r.Cse.Pipeline.cse_plan
+  @ if deep then deep_report r else []
 
-let assert_clean ~cluster ~catalog r =
-  let diags = report ~cluster ~catalog r in
+let assert_clean ?(deep = true) ~cluster ~catalog r =
+  let diags = report ~deep ~cluster ~catalog r in
   match Diag.errors diags with
   | [] -> ()
   | _ -> failwith (Fmt.str "audit failed:@.%a" Diag.pp_report diags)

@@ -9,9 +9,13 @@
 (** Diagnostics of every pass over a full pipeline report: logical-DAG
     lint over the bound DAG, memo audit over the CSE memo, sharing audit
     (with the report's phase-2 candidate property sets and the final CSE
-    plan), and plan-DAG lint over the conventional, phase-1 and CSE
-    plans. *)
+    plan), plan-DAG lint and stage-graph audit over the conventional,
+    phase-1 and CSE plans.  With [deep] (default [false]) the cross-layer
+    SA05x passes also run: semantic equivalence and column lineage
+    ({!Equiv_audit}) plus stage-graph interference ({!Race_audit}) over
+    every plan. *)
 val report :
+  ?deep:bool ->
   cluster:Scost.Cluster.t ->
   catalog:Relalg.Catalog.t ->
   Cse.Pipeline.report ->
@@ -25,8 +29,11 @@ val memo_and_plan :
   Diag.t list
 
 (** Raise [Failure] with the pretty report when the audit of a pipeline
-    report finds any error-severity diagnostic. *)
+    report finds any error-severity diagnostic.  [deep] defaults to
+    [true]: harnesses honoring {!Cse.Config.audit} get the cross-layer
+    passes too. *)
 val assert_clean :
+  ?deep:bool ->
   cluster:Scost.Cluster.t ->
   catalog:Relalg.Catalog.t ->
   Cse.Pipeline.report ->

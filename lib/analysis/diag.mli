@@ -12,8 +12,9 @@ type location =
   | Group of int  (** a memo group *)
   | Winner of int * string
       (** a memoized winner: group id × requirement description *)
-  | Node of int  (** a logical-DAG node *)
+  | Node of int  (** a logical-DAG node (or a stage id) *)
   | Operator of string  (** a physical plan operator *)
+  | Output of string  (** a script output, by target file *)
   | Whole  (** the audited structure as a whole *)
 
 type t = {
@@ -23,9 +24,23 @@ type t = {
   message : string;
 }
 
-(** Catalog of every diagnostic code: [(code, default severity, short
-    description)]. Analyzer passes only emit codes listed here. *)
-val catalog : (string * severity * string) list
+(** One catalog registration: code, default severity, the layer the
+    emitting pass audits (memo, plan, stages, cross-layer, ...) and a
+    short description. *)
+type entry = {
+  ecode : string;
+  eseverity : severity;
+  layer : string;
+  describe : string;
+}
+
+(** Catalog of every diagnostic code. Analyzer passes only emit codes
+    listed here; a duplicate registration raises [Invalid_argument] when
+    the module is loaded. *)
+val catalog : entry list
+
+(** Catalog lookup by code. *)
+val find_entry : string -> entry option
 
 (** Build a diagnostic; the severity defaults to the catalog entry's.
     Raises [Invalid_argument] on a code missing from the catalog. *)
@@ -36,6 +51,9 @@ val warnings : t list -> t list
 
 (** Per-code occurrence counts, catalog order. *)
 val summary : t list -> (string * int) list
+
+(** Highest severity present, [None] on an empty report. *)
+val worst : t list -> severity option
 
 (** Exit-code mapping: [0] when no diagnostic at or above [fail_on]
     (default [Error]) was reported, [1] otherwise. *)
@@ -52,5 +70,9 @@ val pp_report : t list Fmt.t
 (** One-line machine-readable summary:
     [lint-summary errors=E warnings=W SAxxx=n ...]. *)
 val pp_summary : t list Fmt.t
+
+(** The registry table, one line per code: code, severity, layer,
+    description ([scopeopt lint --list-codes]). *)
+val pp_catalog : unit Fmt.t
 
 val to_string : t -> string

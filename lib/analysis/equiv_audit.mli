@@ -1,0 +1,14 @@
+(** Cross-layer semantic-equivalence auditor (SA050–SA055, SA058).
+
+    Proves, per script output, that a chosen physical plan is a semantic
+    refinement of the bound logical DAG: canonical algebra forms coincide
+    (SA050), every physical shape has a logical meaning (SA051), column
+    lineage matches (SA052), spools and enforcers preserve content
+    (SA053), spool consumers only read produced columns (SA054), and
+    ORDER BY requirements are physically delivered (SA058). *)
+
+(** Audit one physical plan against the bound logical DAG. *)
+val run : dag:Slogical.Dag.t -> plan:Sphys.Plan.t -> Diag.t list
+
+(** SA055: memo groups whose expressions disagree on column lineage. *)
+val memo_lineage : Smemo.Memo.t -> Diag.t list

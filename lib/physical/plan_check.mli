@@ -10,6 +10,18 @@
 
 type violation = { where : string; what : string }
 
+(** The sort order's first [length keys] columns cover exactly the key
+    set — any permutation of the keys is an acceptable grouping order.
+    With [keys = []] any input (even unsorted) qualifies. *)
+val sorted_on_keys : Sortorder.t -> string list -> bool
+
+(** Aligned co-partitioning for a join: serial on both sides, or some
+    subset of the equality pairs maps the left hashing set one-to-one
+    onto the right one.  Roundrobin and serial/hashed mixes never
+    qualify. *)
+val co_partitioned :
+  (string * string) list -> Partition.t -> Partition.t -> bool
+
 (** All violations local to one plan node (children are not recursed
     into). *)
 val check_op : Plan.t -> violation list

@@ -1,7 +1,8 @@
 (* The static-analysis layer (lib/analysis).
 
-   Positive coverage: the full audit is clean on every builtin workload
-   (S1-S4, IND, LS1) at several machine counts and on random scripts.
+   Positive coverage: the full audit — including the deep cross-layer
+   SA05x passes — is clean on every builtin workload (S1-S4, IND, LS1,
+   LS2) at several machine counts and on 25 random scripts.
    Negative coverage: every SA0xx diagnostic is exercised at least once by
    hand-corrupting a memo, a logical DAG or a plan and asserting that the
    responsible analyzer reports exactly that code. *)
@@ -34,7 +35,7 @@ let raw_report ?(machines = 25) script =
 let audit_clean ~machines name script catalog =
   let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
   let r = Cse.Pipeline.run ~cluster ~catalog script in
-  let diags = Sanalysis.Audit.report ~cluster ~catalog r in
+  let diags = Sanalysis.Audit.report ~deep:true ~cluster ~catalog r in
   match Sanalysis.Diag.errors diags with
   | [] -> ()
   | _ ->
@@ -51,17 +52,19 @@ let test_builtins_clean () =
         @ [ ("IND", Sworkload.Paper_scripts.independent_pair) ]))
     [ 4; 25 ]
 
-let test_ls1_clean () =
-  let spec = Sworkload.Large_gen.ls1_spec in
+let large_clean name spec =
   let script = Sworkload.Large_gen.generate spec in
   let catalog = Relalg.Catalog.default () in
   Sworkload.Large_gen.register_files
     ~shared_rows:spec.Sworkload.Large_gen.shared_rows
     ~filler_rows:spec.Sworkload.Large_gen.filler_rows catalog script;
-  audit_clean ~machines:25 "LS1" script catalog
+  audit_clean ~machines:25 name script catalog
+
+let test_ls1_clean () = large_clean "LS1" Sworkload.Large_gen.ls1_spec
+let test_ls2_clean () = large_clean "LS2" Sworkload.Large_gen.ls2_spec
 
 let test_random_clean () =
-  for seed = 1 to 8 do
+  for seed = 1 to 25 do
     let script = Sworkload.Random_gen.generate ~seed ~statements:8 () in
     let catalog = Sworkload.Random_gen.catalog () in
     audit_clean ~machines:7 (Printf.sprintf "random seed %d" seed) script catalog
@@ -544,6 +547,7 @@ let () =
           Alcotest.test_case "builtins at 4 and 25 machines" `Quick
             test_builtins_clean;
           Alcotest.test_case "LS1" `Slow test_ls1_clean;
+          Alcotest.test_case "LS2" `Slow test_ls2_clean;
           Alcotest.test_case "random scripts" `Slow test_random_clean;
         ] );
       ( "memo auditor",

@@ -305,6 +305,63 @@ let test_checker_catches_non_copartitioned_join () =
   Alcotest.(check bool) "co-partitioning enforced" true
     (Plan_check.check_op bad <> [])
 
+(* --- sorted_on_keys / co_partitioned edge cases --------------------------- *)
+
+let test_sorted_on_keys_edges () =
+  (* no keys: any input qualifies, sorted or not *)
+  Alcotest.(check bool) "empty keys, empty sort" true
+    (Plan_check.sorted_on_keys [] []);
+  Alcotest.(check bool) "empty keys, sorted input" true
+    (Plan_check.sorted_on_keys (asc [ "A" ]) []);
+  (* any permutation of the keys is an acceptable grouping prefix *)
+  Alcotest.(check bool) "permuted prefix" true
+    (Plan_check.sorted_on_keys (asc [ "B"; "A"; "C" ]) [ "A"; "B" ]);
+  Alcotest.(check bool) "prefix too short" false
+    (Plan_check.sorted_on_keys (asc [ "A" ]) [ "A"; "B" ]);
+  (* a duplicated column in the sort prefix covers fewer keys than its
+     length suggests *)
+  Alcotest.(check bool) "duplicate column in sort prefix" false
+    (Plan_check.sorted_on_keys (asc [ "A"; "A" ]) [ "A"; "B" ]);
+  Alcotest.(check bool) "duplicate beyond the prefix is harmless" true
+    (Plan_check.sorted_on_keys (asc [ "A"; "B"; "A" ]) [ "A"; "B" ]);
+  (* the prefix must cover the keys exactly, not some superset column *)
+  Alcotest.(check bool) "wrong column in prefix" false
+    (Plan_check.sorted_on_keys (asc [ "A"; "C" ]) [ "A"; "B" ])
+
+let test_co_partitioned_edges () =
+  let pairs = [ ("K", "J") ] in
+  (* serial on both sides always qualifies, even with no pairs *)
+  Alcotest.(check bool) "serial/serial" true
+    (Plan_check.co_partitioned [] Partition.Serial Partition.Serial);
+  (* roundrobin never co-locates matching rows *)
+  Alcotest.(check bool) "roundrobin left" false
+    (Plan_check.co_partitioned pairs Partition.Roundrobin
+       (Partition.Hashed (cs [ "J" ])));
+  Alcotest.(check bool) "roundrobin both" false
+    (Plan_check.co_partitioned pairs Partition.Roundrobin Partition.Roundrobin);
+  (* a serial/hashed mix leaves one side's rows spread over machines *)
+  Alcotest.(check bool) "serial/hashed mix" false
+    (Plan_check.co_partitioned pairs Partition.Serial
+       (Partition.Hashed (cs [ "J" ])));
+  Alcotest.(check bool) "hashed/serial mix" false
+    (Plan_check.co_partitioned pairs (Partition.Hashed (cs [ "K" ]))
+       Partition.Serial);
+  (* aligned hashing through the pair mapping qualifies; misaligned does
+     not *)
+  Alcotest.(check bool) "aligned hashed" true
+    (Plan_check.co_partitioned pairs
+       (Partition.Hashed (cs [ "K" ]))
+       (Partition.Hashed (cs [ "J" ])));
+  Alcotest.(check bool) "misaligned hashed" false
+    (Plan_check.co_partitioned pairs
+       (Partition.Hashed (cs [ "V" ]))
+       (Partition.Hashed (cs [ "J" ])));
+  (* hashing on empty column sets can never certify co-location *)
+  Alcotest.(check bool) "empty hash sets" false
+    (Plan_check.co_partitioned pairs
+       (Partition.Hashed (cs []))
+       (Partition.Hashed (cs [])))
+
 let () =
   Alcotest.run "props"
     [
@@ -348,5 +405,9 @@ let () =
             test_checker_catches_unpartitioned_global;
           Alcotest.test_case "non-co-partitioned join" `Quick
             test_checker_catches_non_copartitioned_join;
+          Alcotest.test_case "sorted_on_keys edge cases" `Quick
+            test_sorted_on_keys_edges;
+          Alcotest.test_case "co_partitioned edge cases" `Quick
+            test_co_partitioned_edges;
         ] );
     ]
