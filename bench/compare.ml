@@ -2,17 +2,33 @@
 
    CI runs the quick bench on every push and compares the fresh JSON
    against the committed baseline: the optimizer's *deterministic*
-   outputs — estimated plan costs and task counts — must match exactly
-   for every workload present in both files.  Wall times, heap figures
-   and anything else environment-dependent are exempt, so the check is
-   stable across machines while still catching a plan-quality or
-   search-effort regression the moment it lands.
+   outputs — estimated plan costs, task counts and the round-pruning
+   counters — must match exactly for every workload present in both
+   files.  Wall times, heap figures and anything else
+   environment-dependent are exempt, so the check is stable across
+   machines while still catching a plan-quality or search-effort
+   regression the moment it lands.
+
+   Two further modes serve the ISSUE 7 round-pruning gates:
+
+   - [--equivalence] compares only the plan-quality fields (the costs).
+     Used on a pruned run vs a [--no-prune] run of the *same* build,
+     where the search-effort counters legitimately differ but a single
+     ulp of cost drift means a pruning layer discarded a winner.
+
+   - [--perf FACTOR] additionally requires, per workload, that the fresh
+     run's [rounds_executed] is at most baseline / FACTOR, and that its
+     [cse_time_s] does not exceed the baseline's.  Used on a pruned run
+     vs a same-machine [--no-prune] run to enforce the >= FACTOR round
+     reduction the pruning layers claim (wall clocks are only compared
+     within one machine, never against the committed baseline).
 
    The parser matches the writer in main.ml: flat records of numbers
    keyed by "name", scanned with string search — no JSON dependency,
    same as the writer.
 
-   Usage: compare BASELINE.json FRESH.json *)
+   Usage: compare [--equivalence | --perf FACTOR [--only W1,W2]]
+                  BASELINE.json FRESH.json *)
 
 let read_file path =
   let ic = open_in path in
@@ -80,23 +96,70 @@ let field chunk name =
 
 (* The deterministic fields: identical runs of the same code must agree
    exactly.  Costs are doubles printed with %.17g (round-trip exact);
-   tasks and rounds are integers. *)
-let checked_fields =
-  [ "conv_cost"; "cse_cost"; "conv_tasks"; "cse_tasks"; "rounds_executed" ]
+   tasks, rounds and the pruning counters are integers. *)
+let drift_fields =
+  [
+    "conv_cost";
+    "cse_cost";
+    "conv_tasks";
+    "cse_tasks";
+    "rounds_executed";
+    "rounds_pruned";
+    "rounds_aborted_bound";
+    "phase2_winner_reuse_hits";
+  ]
+
+(* Plan quality alone: what a pruned and an exhaustive run of the same
+   build must agree on bit-for-bit. *)
+let equivalence_fields = [ "conv_cost"; "cse_cost" ]
+
+type mode = Drift | Equivalence | Perf of float
+
+let usage () =
+  prerr_endline
+    "usage: compare [--equivalence | --perf FACTOR [--only W1,W2]] \
+     BASELINE.json FRESH.json";
+  exit 2
 
 let () =
-  (match Sys.argv with
-  | [| _; _; _ |] -> ()
-  | _ ->
-      prerr_endline "usage: compare BASELINE.json FRESH.json";
-      exit 2);
-  let baseline = records (read_file Sys.argv.(1)) in
-  let fresh = records (read_file Sys.argv.(2)) in
+  let mode = ref Drift in
+  let only = ref None in
+  let files = ref [] in
+  let rec parse = function
+    | "--equivalence" :: tl -> mode := Equivalence; parse tl
+    | "--perf" :: f :: tl -> (
+        match float_of_string_opt f with
+        | Some f when f > 0.0 -> mode := Perf f; parse tl
+        | _ -> usage ())
+    | "--only" :: names :: tl ->
+        only := Some (String.split_on_char ',' names);
+        parse tl
+    | path :: tl -> files := path :: !files; parse tl
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, fresh_path =
+    match List.rev !files with [ b; f ] -> (b, f) | _ -> usage ()
+  in
+  let baseline = records (read_file baseline_path) in
+  let fresh = records (read_file fresh_path) in
+  let wanted name =
+    match !only with None -> true | Some names -> List.mem name names
+  in
   let drift = ref 0 in
   let compared = ref 0 in
+  (* perf mode compares a pruned against an exhaustive run: costs must
+     still match bit-for-bit, but the search-effort counters (tasks,
+     rounds, pruning tallies) legitimately differ *)
+  let checked_fields =
+    match !mode with
+    | Drift -> drift_fields
+    | Perf _ | Equivalence -> equivalence_fields
+  in
   List.iter
     (fun (name, fresh_chunk) ->
       match List.assoc_opt name baseline with
+      | _ when not (wanted name) -> ()
       | None -> Printf.printf "%-5s not in baseline, skipped\n" name
       | Some base_chunk ->
           incr compared;
@@ -114,14 +177,44 @@ let () =
               | _, None ->
                   incr drift;
                   Printf.printf "%-5s %s missing from fresh run\n" name f)
-            checked_fields)
+            checked_fields;
+          (match !mode with
+          | Perf factor ->
+              (match (field base_chunk "rounds_executed",
+                      field fresh_chunk "rounds_executed") with
+              | Some b, Some v when v *. factor > b ->
+                  incr drift;
+                  Printf.printf
+                    "%-5s rounds_executed %.0f not %.2gx under baseline %.0f\n"
+                    name v factor b
+              | Some b, Some v ->
+                  Printf.printf "%-5s rounds_executed %.0f <= %.0f / %.2g\n"
+                    name v b factor
+              | _ ->
+                  incr drift;
+                  Printf.printf "%-5s rounds_executed missing\n" name);
+              (* same-machine wall clock: the pruned run must not be
+                 slower than the exhaustive one beyond scheduler noise *)
+              (match (field base_chunk "cse_time_s", field fresh_chunk "cse_time_s")
+               with
+              | Some b, Some v when v > b *. 1.1 ->
+                  incr drift;
+                  Printf.printf
+                    "%-5s cse_time_s %.4f exceeds baseline %.4f (+10%%)\n"
+                    name v b
+              | _ -> ())
+          | Drift | Equivalence -> ()))
     fresh;
   if !compared = 0 then begin
     print_endline "no workloads in common: nothing compared";
     exit 2
   end;
   if !drift = 0 then
-    Printf.printf "baseline match: %d workload(s), %d field(s) each\n"
+    Printf.printf "baseline match (%s): %d workload(s), %d field(s) each\n"
+      (match !mode with
+      | Drift -> "drift"
+      | Equivalence -> "equivalence"
+      | Perf f -> Printf.sprintf "perf %.2gx" f)
       !compared
       (List.length checked_fields)
   else begin

@@ -565,12 +565,12 @@ type opt_record = {
 (* Counters and memo figures come from the first rep (later reps re-use
    the globally interned requirements, so their intern.misses would read
    near zero); times are the min across reps. *)
-let bench_opt_record ~workers (w : prepared) =
-  let first = run_pipeline ~audit:false w in
+let bench_opt_record ~workers ~config (w : prepared) =
+  let first = run_pipeline ~audit:false ~config w in
   let conv_time = ref first.Cse.Pipeline.conventional_time in
   let cse_time = ref first.Cse.Pipeline.cse_time in
   for _ = 2 to 3 do
-    let r = run_pipeline ~audit:false w in
+    let r = run_pipeline ~audit:false ~config w in
     conv_time := Float.min !conv_time r.Cse.Pipeline.conventional_time;
     cse_time := Float.min !cse_time r.Cse.Pipeline.cse_time
   done;
@@ -618,6 +618,14 @@ let json_of_record (o : opt_record) =
         (counter "intern.hits") (counter "intern.misses");
       Printf.sprintf "     \"rounds_executed\": %d, \"top_heap_words\": %d,\n"
         r.Cse.Pipeline.rounds_executed o.top_heap_words;
+      (* round-pruning layers (ISSUE 7): dominance-filtered rounds, bound
+         aborts, and phase-2 winner-cache hits.  Deterministic, so the
+         drift checker pins them exactly like the task counts. *)
+      Printf.sprintf
+        "     \"rounds_pruned\": %d, \"rounds_aborted_bound\": %d, \
+         \"phase2_winner_reuse_hits\": %d,\n"
+        r.Cse.Pipeline.rounds_pruned r.Cse.Pipeline.rounds_aborted_bound
+        r.Cse.Pipeline.phase2_winner_reuse_hits;
       (* execution timing: measured wall at workers=1 and workers=N, and
          the modeled wave-schedule makespans the speedup figure comes
          from (wall times are environment-dependent; the drift checker
@@ -648,9 +656,9 @@ let json_of_record (o : opt_record) =
         (Cse.Pipeline.reduction_percent r);
     ]
 
-let bench_json ~quick ~workers path =
+let bench_json ~quick ~workers ~config path =
   let records =
-    List.map (bench_opt_record ~workers) (json_workloads ~quick)
+    List.map (bench_opt_record ~workers ~config) (json_workloads ~quick)
   in
   let oc = open_out path in
   output_string oc "{\n  \"schema\": \"scopecse-bench-opt/1\",\n";
@@ -669,6 +677,13 @@ let bench_json ~quick ~workers path =
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
+  (* --no-prune: run the phase-2 search exhaustively (ISSUE 7 ablation);
+     paired with the default run, bench/compare --equivalence proves the
+     pruning layers never change a chosen plan's cost *)
+  let config =
+    if List.mem "--no-prune" argv then Cse.Config.no_pruning Cse.Config.default
+    else Cse.Config.default
+  in
   let workers =
     let rec find = function
       | "--workers" :: n :: _ -> ( match int_of_string_opt n with
@@ -690,7 +705,7 @@ let () =
         in
         Option.value ~default:"BENCH_opt.json" (after rest)
       in
-      bench_json ~quick ~workers path
+      bench_json ~quick ~workers ~config path
   | _ ->
   let t0 = Unix.gettimeofday () in
   let reports = List.map (fun w -> (w, run_pipeline w)) (workloads ()) in

@@ -74,6 +74,22 @@ let no_ext_arg =
     & info [ "no-extensions" ]
         ~doc:"Disable the Section VIII large-script extensions.")
 
+let no_prune_arg =
+  Arg.(
+    value & flag
+    & info [ "no-prune" ]
+        ~doc:
+          "Disable the phase-2 round-pruning layers (dominance filtering, \
+           branch-and-bound round aborts, cross-round winner reuse) and \
+           enumerate every round exhaustively.  The chosen plan is \
+           identical either way; this is the ablation baseline the \
+           equivalence tests and CI drift gate compare against.")
+
+(* Base optimizer configuration from the shared CLI flags. *)
+let base_config ~no_ext ~no_prune =
+  let c = if no_ext then Cse.Config.no_extensions else Cse.Config.default in
+  if no_prune then Cse.Config.no_pruning c else c
+
 let dot_arg =
   Arg.(
     value
@@ -258,17 +274,14 @@ let finish_trace ~attempts path =
       | Some _ | None -> Ok ())
 
 let optimize run_exec =
-  let f machines budget no_ext verbose audit dot inject rate workers trace
-      script =
+  let f machines budget no_ext no_prune verbose audit dot inject rate workers
+      trace script =
     setup_logs verbose;
     if trace <> None then Sobs.Trace.start ();
     let attempts_acc = ref [] in
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
-    let config =
-      let base = if no_ext then Cse.Config.no_extensions else Cse.Config.default in
-      { base with Cse.Config.audit }
-    in
+    let config = { (base_config ~no_ext ~no_prune) with Cse.Config.audit } in
     let budget = Option.map (fun s -> Sopt.Budget.create ~max_seconds:s ()) budget in
     let r = Cse.Pipeline.run ~config ?budget ~cluster ~catalog script in
     Fmt.pr "=== conventional plan (estimated cost %.5g; %.3f s) ===@.%a@."
@@ -379,11 +392,12 @@ let optimize run_exec =
   in
   Term.(
     term_result
-      (const (fun m b e v a d i p w t file builtin ->
-           Result.bind (read_script file builtin) (guard (f m b e v a d i p w t)))
-      $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ audit_arg
-      $ dot_arg $ inject_arg $ rate_arg $ workers_arg $ trace_arg $ file_arg
-      $ builtin_arg))
+      (const (fun m b e np v a d i p w t file builtin ->
+           Result.bind (read_script file builtin)
+             (guard (f m b e np v a d i p w t)))
+      $ machines_arg $ budget_arg $ no_ext_arg $ no_prune_arg $ verbose_arg
+      $ audit_arg $ dot_arg $ inject_arg $ rate_arg $ workers_arg $ trace_arg
+      $ file_arg $ builtin_arg))
 
 let optimize_cmd =
   Cmd.v
@@ -416,12 +430,14 @@ let json_of_hist (s : Sobs.Hist.summary) =
              s.Sobs.Hist.buckets) );
     ]
 
-(* The machine-readable run report.  Schema "scopecse-run-report/1":
-   optimization costs and task counts from the pipeline report, the
-   execution outcome (wall, per-worker busy, utilization, per-stage
-   timeline with wave depths), full counter deltas and histogram
-   summaries.  Documented in README.md; new fields may be added, existing
-   ones keep their meaning. *)
+(* The machine-readable run report.  Schema "scopecse-run-report/2":
+   optimization costs and task counts from the pipeline report — since /2
+   including the round-pruning tallies (rounds_pruned,
+   rounds_aborted_bound, phase2_winner_reuse_hits) — the execution
+   outcome (wall, per-worker busy, utilization, per-stage timeline with
+   wave depths), full counter deltas and histogram summaries.
+   Documented in README.md; new fields may be added, existing ones keep
+   their meaning. *)
 let json_report ~machines ~workers (r : Cse.Pipeline.report)
     (v : Sexec.Validate.outcome) ~counters =
   let num f = Sobs.Json.Num f in
@@ -442,7 +458,7 @@ let json_report ~machines ~workers (r : Cse.Pipeline.report)
   let exec_sum = exec_summary workers v in
   Sobs.Json.Obj
     [
-      ("schema", Sobs.Json.Str "scopecse-run-report/1");
+      ("schema", Sobs.Json.Str "scopecse-run-report/2");
       ("machines", int machines);
       ( "optimization",
         Sobs.Json.Obj
@@ -458,6 +474,11 @@ let json_report ~machines ~workers (r : Cse.Pipeline.report)
             ("rounds_executed", int r.Cse.Pipeline.rounds_executed);
             ("rounds_naive", int r.Cse.Pipeline.rounds_naive);
             ("rounds_sequential", int r.Cse.Pipeline.rounds_sequential);
+            ("rounds_pruned", int r.Cse.Pipeline.rounds_pruned);
+            ( "rounds_aborted_bound",
+              int r.Cse.Pipeline.rounds_aborted_bound );
+            ( "phase2_winner_reuse_hits",
+              int r.Cse.Pipeline.phase2_winner_reuse_hits );
             ( "budget_exhausted",
               Sobs.Json.Bool r.Cse.Pipeline.budget_exhausted );
             ( "lcas",
@@ -495,18 +516,16 @@ let report_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit the run report as JSON (schema scopecse-run-report/1) \
+            "Emit the run report as JSON (schema scopecse-run-report/2) \
              instead of the human-readable summary.")
   in
-  let f machines budget no_ext verbose workers trace json script =
+  let f machines budget no_ext no_prune verbose workers trace json script =
     setup_logs verbose;
     if trace <> None then Sobs.Trace.start ();
     let counters_before = Sutil.Counters.snapshot () in
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
-    let config =
-      if no_ext then Cse.Config.no_extensions else Cse.Config.default
-    in
+    let config = base_config ~no_ext ~no_prune in
     let budget =
       Option.map (fun s -> Sopt.Budget.create ~max_seconds:s ()) budget
     in
@@ -544,10 +563,11 @@ let report_cmd =
           form)")
     Term.(
       term_result
-        (const (fun m b e v w t j file builtin ->
-             Result.bind (read_script file builtin) (guard (f m b e v w t j)))
-        $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ workers_arg
-        $ trace_arg $ json_arg $ file_arg $ builtin_arg))
+        (const (fun m b e np v w t j file builtin ->
+             Result.bind (read_script file builtin)
+               (guard (f m b e np v w t j)))
+        $ machines_arg $ budget_arg $ no_ext_arg $ no_prune_arg $ verbose_arg
+        $ workers_arg $ trace_arg $ json_arg $ file_arg $ builtin_arg))
 
 (* --- check-trace -------------------------------------------------------- *)
 
@@ -616,13 +636,11 @@ let lint_cmd =
             "Print the diagnostic-code catalog (code, severity, layer, \
              description) and exit; no script is needed.")
   in
-  let f machines budget no_ext verbose strict deep script =
+  let f machines budget no_ext no_prune verbose strict deep script =
     setup_logs verbose;
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
-    let config =
-      if no_ext then Cse.Config.no_extensions else Cse.Config.default
-    in
+    let config = base_config ~no_ext ~no_prune in
     let budget =
       Option.map (fun s -> Sopt.Budget.create ~max_seconds:s ()) budget
     in
@@ -651,14 +669,14 @@ let lint_cmd =
           on error diagnostics")
     Term.(
       term_result
-        (const (fun m b e v s d codes file builtin ->
+        (const (fun m b e np v s d codes file builtin ->
              if codes then begin
                Fmt.pr "%a" Sanalysis.Diag.pp_catalog ();
                Ok ()
              end
-             else Result.bind (read_script file builtin) (f m b e v s d))
-        $ machines_arg $ budget_arg $ no_ext_arg $ verbose_arg $ strict_arg
-        $ deep_arg $ list_codes_arg $ file_arg $ builtin_arg))
+             else Result.bind (read_script file builtin) (f m b e np v s d))
+        $ machines_arg $ budget_arg $ no_ext_arg $ no_prune_arg $ verbose_arg
+        $ strict_arg $ deep_arg $ list_codes_arg $ file_arg $ builtin_arg))
 
 (* --- workload ---------------------------------------------------------- *)
 

@@ -26,6 +26,8 @@ let report ?(deep = false) ~cluster ~catalog (r : Cse.Pipeline.report) =
   @ Sharing_audit.run ~degraded:r.Cse.Pipeline.budget_exhausted
       ~candidates:r.Cse.Pipeline.candidate_props
       ~plan:r.Cse.Pipeline.cse_plan r.Cse.Pipeline.memo
+  @ Prune_audit.run ~candidates:r.Cse.Pipeline.candidate_props
+      r.Cse.Pipeline.pruned_props
   @ Plan_audit.run r.Cse.Pipeline.conventional_plan
   @ Plan_audit.run r.Cse.Pipeline.phase1_plan
   @ Plan_audit.run r.Cse.Pipeline.cse_plan

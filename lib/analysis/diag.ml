@@ -75,6 +75,8 @@ let catalog =
     e "SA056" Error "cross-layer" "cross-stage read not ordered by a dependency edge";
     e "SA057" Error "cross-layer" "concurrently schedulable stages write the same spool or cache cell";
     e "SA058" Error "cross-layer" "ORDER BY requirement not delivered by the physical output";
+    (* round-pruning audit *)
+    e "SA060" Error "pruning" "dominance-pruned candidate not subsumed by its recorded dominator";
   ]
 
 (* Duplicate-code registration is a hard error at startup: the catalog is

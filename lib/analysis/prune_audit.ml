@@ -1,0 +1,58 @@
+open Sphys
+
+(* Round-pruning soundness auditor (SA060).
+
+   Phase 2 records every candidate property set it dropped by dominance
+   filtering together with the kept candidate that justified the drop.
+   This pass re-verifies each recorded pair against the conditions the
+   dominance argument actually needs — independently of the filtering
+   code, so a regression in the rule (or a rule extension that silently
+   weakens it) turns into an audit error instead of a silently changed
+   plan:
+
+   - the dominator pins the same concrete partitioning as the dropped
+     candidate, and that partitioning is not [Any] (an [Any] pin leaves
+     the delivered partitioning unconstrained, so two [Any] candidates
+     are not interchangeable deliveries);
+   - the dropped sort is a non-empty strict prefix of the dominator's
+     (equal key-independent production cost, prefix-closed usefulness);
+   - the dominator actually survived the filter (it is in the kept
+     candidate list the rounds enumerated), so the pruned round's
+     combination space is covered by a round that really ran. *)
+
+let pair_diags ~shared ~(kept : Reqprops.t list) ((p : Reqprops.t), (by : Reqprops.t)) =
+  let loc = Diag.Group shared in
+  let fail msg =
+    [
+      Diag.make ~code:"SA060" ~loc
+        (Printf.sprintf "dropped %s under dominator %s: %s" (Reqprops.to_key p)
+           (Reqprops.to_key by) msg);
+    ]
+  in
+  let part_ok =
+    match (p.Reqprops.part, by.Reqprops.part) with
+    | Reqprops.Hash_exact a, Reqprops.Hash_exact b -> Relalg.Colset.equal a b
+    | Reqprops.Serial_req, Reqprops.Serial_req -> true
+    | _ -> false
+  in
+  if not part_ok then
+    fail "partitionings differ (or one is unconstrained)"
+  else if Sortorder.is_empty p.Reqprops.sort then
+    fail "dropped sort is empty (nothing guarantees equal enforcement cost)"
+  else if not (Sortorder.prefix p.Reqprops.sort by.Reqprops.sort) then
+    fail "dropped sort is not a prefix of the dominator's"
+  else if Sortorder.equal p.Reqprops.sort by.Reqprops.sort then
+    fail "sorts are equal (a duplicate, not a dominated candidate)"
+  else if not (List.exists (Reqprops.equal by) kept) then
+    fail "dominator is not among the kept candidates"
+  else if List.exists (Reqprops.equal p) kept then
+    fail "dropped candidate still appears among the kept candidates"
+  else []
+
+let run ~(candidates : (int * Reqprops.t list) list)
+    (pruned : (int * (Reqprops.t * Reqprops.t) list) list) : Diag.t list =
+  List.concat_map
+    (fun (shared, pairs) ->
+      let kept = Option.value ~default:[] (List.assoc_opt shared candidates) in
+      List.concat_map (pair_diags ~shared ~kept) pairs)
+    pruned

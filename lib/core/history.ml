@@ -95,3 +95,48 @@ let ranked_properties t gid : Reqprops.t list =
   match t.config.Config.max_properties_per_group with
   | Some cap -> Sutil.Combi.take cap props
   | None -> props
+
+(* Round-pruning layer 1: dominance between candidate property sets.
+
+   [dominates ~by:q p] holds when q pins the same concrete partitioning as
+   p together with a strictly longer sort, p's sort being non-empty.  Then
+   pinning q can never lose to pinning p: the cost model prices a sort by
+   row count alone (key-independent), so producing q's order at the shared
+   group costs the same as producing p's, while by prefix closure every
+   consumer requirement satisfied under p's delivery is satisfied under
+   q's — any per-consumer compensation needed on top of q is needed, no
+   cheaper, on top of p.  [Any] never participates on either side: an
+   [Any] pin leaves the delivered partitioning unconstrained, so two
+   such candidates are not interchangeable deliveries. *)
+let dominates ~(by : Reqprops.t) (p : Reqprops.t) =
+  let part_eq =
+    match (p.Reqprops.part, by.Reqprops.part) with
+    | Reqprops.Hash_exact a, Reqprops.Hash_exact b -> Relalg.Colset.equal a b
+    | Reqprops.Serial_req, Reqprops.Serial_req -> true
+    | _ -> false
+  in
+  part_eq
+  && (not (Sortorder.is_empty p.Reqprops.sort))
+  && Sortorder.prefix p.Reqprops.sort by.Reqprops.sort
+  && not (Sortorder.equal p.Reqprops.sort by.Reqprops.sort)
+
+(* Candidates for round generation after dominance filtering: the kept
+   property sets (ranked order preserved) and each dropped set paired with
+   a kept dominator.  Dominance is a strict partial order (sort length
+   strictly increases along a chain), so every dropped candidate has a
+   maximal — hence kept — transitive dominator. *)
+let candidates t gid : Reqprops.t list * (Reqprops.t * Reqprops.t) list =
+  let props = ranked_properties t gid in
+  if not t.config.Config.use_dominance_pruning then (props, [])
+  else
+    let kept, dropped =
+      List.partition
+        (fun p -> not (List.exists (fun q -> dominates ~by:q p) props))
+        props
+    in
+    let pairs =
+      List.map
+        (fun p -> (p, List.find (fun q -> dominates ~by:q p) kept))
+        dropped
+    in
+    (kept, pairs)

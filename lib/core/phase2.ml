@@ -23,8 +23,9 @@ let log_src = Logs.Src.create "scopecse.phase2" ~doc:"CSE re-optimization"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-(* Wall time of each re-optimization round; always on (rounds are
-   heavyweight: a full optimization pass under an enforcement map). *)
+(* Wall time of each re-optimization round, observed only while tracing is
+   enabled so the hot loop stays free of per-round clock reads and trace
+   allocations on the default path (the lib/obs contract). *)
 let round_seconds = Sobs.Hist.hist "opt.round_seconds"
 
 let pp_assignment assignment =
@@ -39,7 +40,15 @@ type state = {
   mutable si : Shared_info.t option;
   mutable rounds_executed : int;
   mutable rounds_naive : int; (* full-product round count, for ablations *)
-  mutable rounds_sequential : int; (* VIII-A round count *)
+  mutable rounds_sequential : int; (* VIII-A round count, before pruning *)
+  mutable rounds_pruned : int;
+      (* sequential rounds removed by dominance filtering of candidates *)
+  mutable rounds_aborted_bound : int;
+      (* rounds cut short by the branch-and-bound incumbent check *)
+  mutable phase2_winner_reuse_hits : int;
+      (* winner-cache hits during phase 2 (cross-round reuse) *)
+  mutable pruned_props : (int * (Reqprops.t * Reqprops.t) list) list;
+      (* shared group -> (dropped, kept dominator) pairs, for SA060 *)
   mutable lca_sites : int;
 }
 
@@ -51,6 +60,10 @@ let create config =
     rounds_executed = 0;
     rounds_naive = 0;
     rounds_sequential = 0;
+    rounds_pruned = 0;
+    rounds_aborted_bound = 0;
+    phase2_winner_reuse_hits = 0;
+    pruned_props = [];
     lca_sites = 0;
   }
 
@@ -110,7 +123,9 @@ let rec compensate (t : Optimizer.t) (g : Smemo.Memo.group)
 
 (* Algorithm 4, lines 4-12: all re-optimization rounds at an LCA. *)
 let run_rounds state (t : Optimizer.t) (g : Smemo.Memo.group)
-    (extreq : Extreq.t) (to_assign : int list) ~log_phys_opt =
+    (extreq : Extreq.t) (to_assign : int list)
+    ~(log_phys_opt :
+       ?bound:float -> Smemo.Memo.group -> Extreq.t -> Plan.t option) =
   state.lca_sites <- state.lca_sites + 1;
   let si = shared_info state in
   let ordered =
@@ -140,20 +155,58 @@ let run_rounds state (t : Optimizer.t) (g : Smemo.Memo.group)
     end
     else [ ordered ]
   in
-  let with_props =
+  let ranked =
     List.map
       (List.map (fun s -> (s, History.ranked_properties state.history s)))
       classes
   in
-  state.rounds_naive <- state.rounds_naive + Rounds.naive_total with_props;
+  (* layer 1: dominance filtering of the candidate property sets; the
+     naive/sequential counters keep describing the unpruned space so the
+     pruning is visible as rounds_pruned *)
+  let with_props =
+    if state.config.Config.use_dominance_pruning then
+      List.map
+        (List.map (fun s ->
+             let kept, dropped = History.candidates state.history s in
+             if dropped <> [] && not (List.mem_assoc s state.pruned_props)
+             then state.pruned_props <- (s, dropped) :: state.pruned_props;
+             (s, kept)))
+        classes
+    else ranked
+  in
+  state.rounds_naive <- state.rounds_naive + Rounds.naive_total ranked;
   state.rounds_sequential <-
-    state.rounds_sequential + Rounds.sequential_total with_props;
+    state.rounds_sequential + Rounds.sequential_total ranked;
+  state.rounds_pruned <-
+    state.rounds_pruned
+    + (Rounds.sequential_total ranked - Rounds.sequential_total with_props);
   let gen = Rounds.create with_props in
   let candidates = ref [] in
+  let use_bound = state.config.Config.use_round_bound in
+  (* layer 2 incumbent: the cheapest walking cost seen at this LCA so far.
+     Bounds carry a hair of relative slack so a round in true near-tie
+     territory is never aborted — ties must keep resolving exactly as in
+     the exhaustive run. *)
+  let incumbent = ref infinity in
+  let slack b = if b = infinity then infinity else b *. (1.0 +. 1e-6) in
+  let round_bound () =
+    if not use_bound then infinity
+    else if Rounds.last_class gen then slack !incumbent
+    else
+      (* earlier classes still steer (their best combo is frozen): bound
+         only against the class's own best so the frozen choice matches
+         the exhaustive run *)
+      match Rounds.class_best_cost gen with
+      | Some c -> slack c
+      | None -> infinity
+  in
   (* the plan without any enforcement (the phase-1 shape) also competes *)
   (match log_phys_opt g extreq with
-  | Some p -> candidates := [ p ]
+  | Some p ->
+      candidates := [ p ];
+      if use_bound then incumbent := Scost.Dagcost.cost t.Optimizer.cluster p
   | None -> ());
+  let traced = Sobs.Trace.enabled () in
   let continue_ = ref true in
   while !continue_ do
     if Budget.exhausted t.Optimizer.budget then continue_ := false
@@ -161,13 +214,12 @@ let run_rounds state (t : Optimizer.t) (g : Smemo.Memo.group)
       match Rounds.next gen with
       | None -> continue_ := false
       | Some assignment ->
-          Budget.note_round_executed t.Optimizer.budget;
-          state.rounds_executed <- state.rounds_executed + 1;
+          let bound = round_bound () in
           let ext' =
             Extreq.normalize
               { extreq with Extreq.enforce = extreq.Extreq.enforce @ assignment }
           in
-          if Sobs.Trace.enabled () then
+          if traced then
             Sobs.Trace.begin_span ~pid:Sobs.Trace.pid_phase2
               ~args:
                 [
@@ -176,33 +228,55 @@ let run_rounds state (t : Optimizer.t) (g : Smemo.Memo.group)
                   ("assignment", Sobs.Trace.Str (pp_assignment assignment));
                 ]
               "ReoptimizeRound";
-          let rt0 = Unix.gettimeofday () in
+          let rt0 = if traced then Unix.gettimeofday () else 0.0 in
           let finish cost =
-            Sobs.Hist.observe round_seconds (Unix.gettimeofday () -. rt0);
-            if Sobs.Trace.enabled () then
+            if traced then begin
+              Sobs.Hist.observe round_seconds (Unix.gettimeofday () -. rt0);
               Sobs.Trace.end_span ~pid:Sobs.Trace.pid_phase2
                 ~args:[ ("cost", Sobs.Trace.Float cost) ]
                 "ReoptimizeRound"
+            end
           in
-          (match log_phys_opt g ext' with
-          | Some p ->
-              (* feedback steering the sequential enumeration: use the
-                 walking cost so the last-ulp noise of the cached closure
-                 cannot flip which assignment a class keeps as its best *)
-              let cost = Scost.Dagcost.cost t.Optimizer.cluster p in
-              Log.debug (fun m ->
-                  m "round %d at LCA %d: {%s} -> cost %.6g"
-                    (Rounds.generated gen) g.Smemo.Memo.id
-                    (pp_assignment assignment) cost);
-              Rounds.report gen ~cost;
-              candidates := p :: !candidates;
-              finish cost
-          | None ->
-              Log.debug (fun m ->
-                  m "round %d at LCA %d: infeasible assignment"
-                    (Rounds.generated gen) g.Smemo.Memo.id);
-              Rounds.report gen ~cost:infinity;
-              finish infinity)
+          let result = log_phys_opt ~bound g ext' in
+          if t.Optimizer.tainted then begin
+            (* layer 2 abort: the round's true cost provably exceeds the
+               incumbent (or class best) by more than the slack, so its
+               plan can never be chosen; report infinity so the class
+               best is as unmoved as it would be by the true cost *)
+            Budget.note_round_aborted t.Optimizer.budget;
+            state.rounds_aborted_bound <- state.rounds_aborted_bound + 1;
+            Log.debug (fun m ->
+                m "round %d at LCA %d: {%s} aborted (bound %.6g)"
+                  (Rounds.generated gen) g.Smemo.Memo.id
+                  (pp_assignment assignment) bound);
+            Rounds.report gen ~cost:infinity;
+            finish infinity
+          end
+          else begin
+            Budget.note_round_executed t.Optimizer.budget;
+            state.rounds_executed <- state.rounds_executed + 1;
+            match result with
+            | Some p ->
+                (* feedback steering the sequential enumeration: use the
+                   walking cost so the last-ulp noise of the cached
+                   closure cannot flip which assignment a class keeps as
+                   its best *)
+                let cost = Scost.Dagcost.cost t.Optimizer.cluster p in
+                Log.debug (fun m ->
+                    m "round %d at LCA %d: {%s} -> cost %.6g"
+                      (Rounds.generated gen) g.Smemo.Memo.id
+                      (pp_assignment assignment) cost);
+                Rounds.report gen ~cost;
+                candidates := p :: !candidates;
+                if use_bound && cost < !incumbent then incumbent := cost;
+                finish cost
+            | None ->
+                Log.debug (fun m ->
+                    m "round %d at LCA %d: infeasible assignment"
+                      (Rounds.generated gen) g.Smemo.Memo.id);
+                Rounds.report gen ~cost:infinity;
+                finish infinity
+          end
   done;
   let winner = Optimizer.cheapest t !candidates in
   (if Sobs.Trace.enabled () then
@@ -237,14 +311,29 @@ let intercept state (t : Optimizer.t) (g : Smemo.Memo.group)
                 ("props", Sobs.Trace.Str (Fmt.str "%a" Reqprops.pp pinned));
               ]
             "pinned.shared";
+        let keep =
+          (* layer 3, cross-round winner reuse: beyond the group's own
+             entry, drop enforcement entries for shared groups that are
+             not below this one — they are unreachable from here (every
+             descendant prunes to its own shared_below anyway), so they
+             cannot influence the plan, yet they differ between adjacent
+             mixed-radix rounds and would fragment the winner cache into
+             one cold entry per round *)
+          let si = shared_info state in
+          if
+            state.config.Config.use_slice_reuse
+            && Hashtbl.mem si.Shared_info.info g.Smemo.Memo.id
+          then begin
+            let below = Shared_info.shared_below si g.Smemo.Memo.id in
+            fun (gid, _) -> gid <> g.Smemo.Memo.id && List.mem gid below
+          end
+          else fun (gid, _) -> gid <> g.Smemo.Memo.id
+        in
         let inner =
           Extreq.normalize
             {
               Extreq.req = pinned;
-              enforce =
-                List.filter
-                  (fun (gid, _) -> gid <> g.Smemo.Memo.id)
-                  extreq.Extreq.enforce;
+              enforce = List.filter keep extreq.Extreq.enforce;
             }
         in
         Some
@@ -307,9 +396,12 @@ let optimize ?(config = Config.default) ?budget ~cluster
     Sobs.Trace.with_span ~pid:Sobs.Trace.pid_phase2 "phase 2" (fun () ->
         Optimizer.optimize_root t)
   in
+  state.phase2_winner_reuse_hits <- t.Optimizer.phase2_winner_hits;
   Log.info (fun m ->
-      m "phase 2 done: %d rounds executed at %d LCA sites"
-        state.rounds_executed state.lca_sites);
+      m "phase 2 done: %d rounds executed (%d pruned, %d aborted) at %d LCA \
+         sites"
+        state.rounds_executed state.rounds_pruned state.rounds_aborted_bound
+        state.lca_sites);
   let best =
     match (p1, p2) with
     | Some a, Some b -> Some (if Optimizer.plan_le t b a then b else a)

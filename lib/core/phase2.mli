@@ -18,7 +18,15 @@ type state = {
   mutable si : Shared_info.t option;
   mutable rounds_executed : int;
   mutable rounds_naive : int;  (** full-product round count (ablation) *)
-  mutable rounds_sequential : int;  (** VIII-A round count *)
+  mutable rounds_sequential : int;  (** VIII-A round count, before pruning *)
+  mutable rounds_pruned : int;
+      (** sequential rounds removed by dominance filtering *)
+  mutable rounds_aborted_bound : int;
+      (** rounds cut short by the branch-and-bound incumbent check *)
+  mutable phase2_winner_reuse_hits : int;
+      (** winner-cache hits during phase 2 (cross-round reuse) *)
+  mutable pruned_props : (int * (Sphys.Reqprops.t * Sphys.Reqprops.t) list) list;
+      (** shared group -> (dropped, kept dominator) pairs (SA060 audit) *)
   mutable lca_sites : int;
 }
 

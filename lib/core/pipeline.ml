@@ -47,9 +47,18 @@ type report = {
   rounds_executed : int;
   rounds_naive : int;
   rounds_sequential : int;
+  rounds_pruned : int;
+  (* sequential rounds removed by dominance filtering of candidates *)
+  rounds_aborted_bound : int;
+  (* rounds cut short by the branch-and-bound incumbent check *)
+  phase2_winner_reuse_hits : int;
+  (* winner-cache hits during phase 2 (cross-round reuse) *)
   history_sizes : (int * int) list; (* shared group -> #property sets *)
   candidate_props : (int * Sphys.Reqprops.t list) list;
-  (* shared group -> phase-2 candidate property sets, in round order *)
+  (* shared group -> phase-2 candidate property sets after dominance
+     filtering, in round order *)
+  pruned_props : (int * (Sphys.Reqprops.t * Sphys.Reqprops.t) list) list;
+  (* shared group -> (dropped, kept dominator) pairs (SA060 audits them) *)
   shared_info : Shared_info.t;
   counters : (string * int) list;
   (* hot-path counter deltas over this run (Sutil.Counters), by name *)
@@ -102,8 +111,10 @@ let pp_steps ppf (r : report) =
     r.lcas;
   Fmt.pf ppf
     "Step 4 — re-optimization with enforcement (Algorithms 4-5): %d rounds \
-     executed (full product: %d; VIII-A sequential: %d)@."
-    r.rounds_executed r.rounds_naive r.rounds_sequential;
+     executed (full product: %d; VIII-A sequential: %d; dominance-pruned: \
+     %d; bound-aborted: %d; phase-2 winner reuse: %d)@."
+    r.rounds_executed r.rounds_naive r.rounds_sequential r.rounds_pruned
+    r.rounds_aborted_bound r.phase2_winner_reuse_hits;
   Fmt.pf ppf "result: estimated cost %.5g -> %.5g (%.1f%%)@."
     r.conventional_cost r.cse_cost
     (100.0 *. r.cse_cost /. Float.max 1e-9 r.conventional_cost);
@@ -194,8 +205,7 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
   let candidate_props =
     List.map
       (fun (s : Spool.shared) ->
-        ( s.Spool.spool,
-          History.ranked_properties state.Phase2.history s.Spool.spool ))
+        (s.Spool.spool, fst (History.candidates state.Phase2.history s.Spool.spool)))
       shared
   in
   {
@@ -217,8 +227,12 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     rounds_executed = state.Phase2.rounds_executed;
     rounds_naive = state.Phase2.rounds_naive;
     rounds_sequential = state.Phase2.rounds_sequential;
+    rounds_pruned = state.Phase2.rounds_pruned;
+    rounds_aborted_bound = state.Phase2.rounds_aborted_bound;
+    phase2_winner_reuse_hits = state.Phase2.phase2_winner_reuse_hits;
     history_sizes;
     candidate_props;
+    pruned_props = state.Phase2.pruned_props;
     shared_info = si;
     counters = Sutil.Counters.since counters_before;
     exec = None;

@@ -41,9 +41,19 @@ type report = {
   rounds_executed : int;
   rounds_naive : int;
   rounds_sequential : int;
+  rounds_pruned : int;
+      (** sequential rounds removed by dominance filtering of candidates *)
+  rounds_aborted_bound : int;
+      (** rounds cut short by the branch-and-bound incumbent check *)
+  phase2_winner_reuse_hits : int;
+      (** winner-cache hits during phase 2 (cross-round reuse) *)
   history_sizes : (int * int) list;  (** shared group -> #property sets *)
   candidate_props : (int * Sphys.Reqprops.t list) list;
-      (** shared group -> phase-2 candidate property sets, in round order *)
+      (** shared group -> phase-2 candidate property sets after dominance
+          filtering, in round order *)
+  pruned_props : (int * (Sphys.Reqprops.t * Sphys.Reqprops.t) list) list;
+      (** shared group -> (dropped candidate, kept dominator) pairs; the
+          SA060 audit re-verifies each pair against {!History.dominates} *)
   shared_info : Shared_info.t;
   counters : (string * int) list;
       (** hot-path counter deltas over this run ([Sutil.Counters]): winner

@@ -121,6 +121,19 @@ let report (t : state) ~cost =
 
 let generated t = t.generated
 
+(* Branch-and-bound support: whether the enumeration is in its final
+   class.  Earlier classes still steer (their best combo gets frozen), so
+   phase 2 may only bound them against their own class best; the last
+   class's best is never consumed and can be bounded by the global
+   incumbent. *)
+let last_class t =
+  Array.length t.classes = 0 || t.class_idx >= Array.length t.classes - 1
+
+(* Best cost reported within the current class so far (None right after a
+   class switch). *)
+let class_best_cost t =
+  match t.class_best with Some (c, _) -> Some c | None -> None
+
 let class_sizes (classes : (int * Reqprops.t list) list list) =
   List.map
     (fun cls ->

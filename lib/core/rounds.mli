@@ -29,6 +29,16 @@ val report : state -> cost:float -> unit
 (** Assignments generated so far. *)
 val generated : state -> int
 
+(** Is the enumeration in its final independence class? Earlier classes
+    still steer the sequential search (their best combo is frozen), so
+    callers may only bound their rounds class-locally; the last class's
+    best is never consumed. *)
+val last_class : state -> bool
+
+(** Best cost reported within the current class so far ([None] right
+    after a class switch). *)
+val class_best_cost : state -> float option
+
 (** Round count without VIII-A: the saturated full product. *)
 val naive_total : (int * Sphys.Reqprops.t list) list list -> int
 

@@ -11,6 +11,7 @@ type t = {
   mutable tasks : int;
   mutable rounds_generated : int;
   mutable rounds_executed : int;
+  mutable rounds_aborted : int; (* branch-and-bound early exits *)
 }
 
 let create ?max_tasks ?max_seconds () =
@@ -21,6 +22,7 @@ let create ?max_tasks ?max_seconds () =
     tasks = 0;
     rounds_generated = 0;
     rounds_executed = 0;
+    rounds_aborted = 0;
   }
 
 let unlimited () = create ()
@@ -35,3 +37,4 @@ let exhausted t =
 
 let note_round_generated t = t.rounds_generated <- t.rounds_generated + 1
 let note_round_executed t = t.rounds_executed <- t.rounds_executed + 1
+let note_round_aborted t = t.rounds_aborted <- t.rounds_aborted + 1

@@ -11,6 +11,7 @@ type t = {
   mutable tasks : int;
   mutable rounds_generated : int;
   mutable rounds_executed : int;
+  mutable rounds_aborted : int;  (** branch-and-bound early exits *)
 }
 
 val create : ?max_tasks:int -> ?max_seconds:float -> unit -> t
@@ -23,3 +24,4 @@ val elapsed : t -> float
 val exhausted : t -> bool
 val note_round_generated : t -> unit
 val note_round_executed : t -> unit
+val note_round_aborted : t -> unit

@@ -15,6 +15,13 @@ type t = {
   cluster : Scost.Cluster.t;
   budget : Budget.t;
   mutable phase : int;
+  mutable phase2_winner_hits : int;
+      (* winner-cache hits while phase = 2: cross-round reuse *)
+  mutable tainted : bool;
+      (* the last [optimize_group]/[log_phys_opt] evaluation was cut by a
+         cost bound and its result is not the true winner (see the
+         branch-and-bound protocol below); tainted results are never
+         memoized *)
   ext : ext;
 }
 
@@ -34,7 +41,7 @@ and ext = {
     Smemo.Memo.group ->
     Extreq.t ->
     self:(Smemo.Memo.group -> Extreq.t -> Plan.t option) ->
-    log_phys_opt:(Smemo.Memo.group -> Extreq.t -> Plan.t option) ->
+    log_phys_opt:(?bound:float -> Smemo.Memo.group -> Extreq.t -> Plan.t option) ->
     Plan.t option option;
   (* called when a winner is recorded (frequency statistics, VIII-C) *)
   after_winner : t -> Smemo.Memo.group -> Extreq.t -> Plan.t option -> unit;
@@ -50,7 +57,15 @@ let default_ext =
 
 let create ?(ext = default_ext) ?(budget = Budget.unlimited ())
     ~(cluster : Scost.Cluster.t) (memo : Smemo.Memo.t) =
-  { memo; cluster; budget; phase = 1; ext }
+  {
+    memo;
+    cluster;
+    budget;
+    phase = 1;
+    phase2_winner_hits = 0;
+    tainted = false;
+    ext;
+  }
 
 (* Winner-table key: the interned requirement id packed with the phase
    (1 or 2).  [extreq] must already be normalized -- [optimize_group]
@@ -109,13 +124,86 @@ let cheapest t plans =
 let valid_candidate (req : Reqprops.t) (node : Plan.t) =
   Plan_check.check_op node = [] && Reqprops.satisfied node.Plan.props req
 
-let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
-    Plan.t option =
+(* Incremental deduplicated lower bound over a set of sibling subplans,
+   mirroring [Dagcost.cached_cost]: each plan contributes its spool-free
+   region cost plus reads for every spool reference, and each distinct
+   spool value contributes its production region once across the whole
+   sibling set.  Because a candidate's final cost counts exactly these
+   terms (plus its own operator cost and the remaining children), [sum] is
+   a true lower bound on any plan completed from the siblings added so
+   far — a naive sum of per-child costs would double-count shared spool
+   productions and overshoot, which is fatal for pruning soundness. *)
+module Lower_bound = struct
+  type acc = {
+    mutable sum : float;
+    produced : (int, Plan.t list) Hashtbl.t;
+  }
+
+  let create () = { sum = 0.0; produced = Hashtbl.create 4 }
+
+  let add (cluster : Scost.Cluster.t) acc (p : Plan.t) =
+    let already (n : Plan.t) =
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt acc.produced n.Plan.group)
+      in
+      if List.exists (fun q -> q == n) prev then true
+      else begin
+        Hashtbl.replace acc.produced n.Plan.group (n :: prev);
+        false
+      end
+    in
+    let pending = Queue.create () in
+    (match p.Plan.op with
+    | Physop.P_spool -> Queue.add (p, 1) pending
+    | _ ->
+        acc.sum <- acc.sum +. p.Plan.sbase;
+        List.iter (fun r -> Queue.add r pending) p.Plan.srefs);
+    while not (Queue.is_empty pending) do
+      let s, k = Queue.pop pending in
+      let read = Scost.Costmodel.spool_read_cost cluster s in
+      acc.sum <- acc.sum +. (float_of_int k *. read);
+      if not (already s) then begin
+        acc.sum <- acc.sum +. s.Plan.sbase;
+        List.iter (fun r -> Queue.add r pending) s.Plan.srefs
+      end
+    done
+end
+
+(* Branch-and-bound protocol.  [bound] (default infinity: off) is an upper
+   bound on any plan still worth finding — phase-2 rounds pass the
+   incumbent round cost, with a hair of relative slack so the cutoff sits
+   far outside the near-tie band of [cheapest].  Under a finite bound,
+   [log_phys_opt] prunes at its own level only:
+
+   - an implementation alternative is abandoned as soon as the
+     deduplicated cost of its completed children exceeds the working
+     bound (remaining children and the operator itself cost >= 0, so the
+     alternative's true cost is provably above it);
+   - a completed candidate provably costlier than the caller's bound is
+     dropped — it can never be chosen over the incumbent the bound came
+     from;
+   - the working bound tightens to the best candidate completed so far,
+     so later alternatives are held to the harder target.
+
+   Child groups and enforcer inners are always optimized exactly: their
+   winners stay memoized and warm for subsequent rounds (a bound-degraded
+   child result would be unrecordable and its work re-paid every round).
+
+   If anything was skipped and no in-bound candidate remains, the [None]
+   result is not the group's true answer — only a proof that the true
+   answer exceeds [bound].  [t.tainted] signals this to the caller (the
+   round aborts); tainted results are never memoized.  With the default
+   infinite bound nothing is ever skipped or dropped and the behavior is
+   identical to the unbounded engine. *)
+let rec optimize_group t ?(bound = infinity) (g : Smemo.Memo.group)
+    (extreq : Extreq.t) : Plan.t option =
   let extreq = Extreq.normalize extreq in
   let key = winner_key t extreq in
   match Hashtbl.find_opt g.Smemo.Memo.winners key with
   | Some w ->
       Atomic.incr winner_hits;
+      if t.phase = 2 then t.phase2_winner_hits <- t.phase2_winner_hits + 1;
+      t.tainted <- false;
       w.Smemo.Memo.wplan
   | None ->
       Atomic.incr winner_misses;
@@ -130,75 +218,152 @@ let rec optimize_group t (g : Smemo.Memo.group) (extreq : Extreq.t) :
           ~args:[ ("group", Sobs.Trace.Int g.Smemo.Memo.id) ]
           "OptimizeGroup";
       t.ext.before_optimize t g extreq;
+      t.tainted <- false;
       let result =
         match
-          t.ext.intercept t g extreq ~self:(optimize_group t)
+          t.ext.intercept t g extreq
+            ~self:(fun g' e' -> optimize_group t g' e')
             ~log_phys_opt:(log_phys_opt t)
         with
-        | Some r -> r
-        | None -> log_phys_opt t g extreq
+        | Some r ->
+            (* interception (pinned shared groups, LCA rounds) always
+               produces an honest result *)
+            t.tainted <- false;
+            r
+        | None -> log_phys_opt t ~bound g extreq
       in
-      Hashtbl.replace g.Smemo.Memo.winners key
-        {
-          Smemo.Memo.wphase = t.phase;
-          wreq = extreq.Extreq.req;
-          wenforce = extreq.Extreq.enforce;
-          wplan = result;
-        };
-      t.ext.after_winner t g extreq result;
+      if not t.tainted then begin
+        Hashtbl.replace g.Smemo.Memo.winners key
+          {
+            Smemo.Memo.wphase = t.phase;
+            wreq = extreq.Extreq.req;
+            wenforce = extreq.Extreq.enforce;
+            wplan = result;
+          };
+        t.ext.after_winner t g extreq result
+      end;
       if traced then Sobs.Trace.end_span ~pid "OptimizeGroup";
       result
 
 (* Logical exploration + physical optimization of one group under one
    requirement (the body of Algorithm 5). *)
-and log_phys_opt t (g : Smemo.Memo.group) (extreq : Extreq.t) : Plan.t option
-    =
+and log_phys_opt t ?(bound = infinity) (g : Smemo.Memo.group)
+    (extreq : Extreq.t) : Plan.t option =
   Rules.explore t.memo g ~phase:t.phase;
   let req = extreq.Extreq.req in
+  let bounded = bound < infinity in
+  let skipped = ref false in
+  (* the working bound tightens as candidates complete: a later
+     alternative only matters if it can beat the best one found so far.
+     The 1e-6 slack keeps every discard outside the near-tie band where
+     [cheapest] falls back to walking-cost comparison, so pruned-in and
+     pruned-out runs pick identical winners. *)
+  let work_bound = ref bound in
+  let note_candidate node =
+    let c = plan_cost t node in
+    if c > bound then begin
+      (* provably never chosen over the caller's incumbent; dropping it
+         (and flagging the skip) lets a round with no in-bound candidate
+         taint instead of completing *)
+      skipped := true;
+      None
+    end
+    else begin
+      let tight = c *. (1.0 +. 1e-6) in
+      if tight < !work_bound then work_bound := tight;
+      Some node
+    end
+  in
   let impl_candidates =
     List.concat_map
       (fun (e : Smemo.Memo.mexpr) ->
         List.filter_map
           (fun (alt : Impl.alt) ->
-            let children =
-              List.map2
-                (fun cgid creq ->
-                  let child = Smemo.Memo.group t.memo cgid in
-                  let cext = t.ext.child_extreq t ~child creq extreq in
-                  optimize_group t child cext)
-                e.Smemo.Memo.children alt.Impl.child_reqs
-            in
-            if List.for_all Option.is_some children then
-              let node = mk_plan t g alt.Impl.op (List.map Option.get children) in
-              if valid_candidate req node then Some node else None
-            else None)
+            if not bounded then begin
+              (* the exact unbounded engine: every child evaluated *)
+              let children =
+                List.map2
+                  (fun cgid creq ->
+                    let child = Smemo.Memo.group t.memo cgid in
+                    let cext = t.ext.child_extreq t ~child creq extreq in
+                    optimize_group t child cext)
+                  e.Smemo.Memo.children alt.Impl.child_reqs
+              in
+              if List.for_all Option.is_some children then
+                let node =
+                  mk_plan t g alt.Impl.op (List.map Option.get children)
+                in
+                if valid_candidate req node then Some node else None
+              else None
+            end
+            else begin
+              (* children left to right; the deduplicated cost of the
+                 completed prefix is a lower bound on the candidate's
+                 final cost *)
+              (* children stay exact (and so memoized — warm for later
+                 rounds; a bounded child could taint, and tainted results
+                 are not recordable, so every later round would re-pay
+                 the same subtree); the bound cuts at this level only *)
+              let lb = Lower_bound.create () in
+              let rec go acc cgids creqs =
+                match (cgids, creqs) with
+                | [], [] -> Some (List.rev acc)
+                | cgid :: cgids', creq :: creqs' ->
+                    if lb.Lower_bound.sum > !work_bound then begin
+                      skipped := true;
+                      None
+                    end
+                    else begin
+                      let child = Smemo.Memo.group t.memo cgid in
+                      let cext = t.ext.child_extreq t ~child creq extreq in
+                      match optimize_group t child cext with
+                      | None -> None (* genuinely infeasible child *)
+                      | Some p ->
+                          Lower_bound.add t.cluster lb p;
+                          go (p :: acc) cgids' creqs'
+                    end
+                | _ -> None
+              in
+              match go [] e.Smemo.Memo.children alt.Impl.child_reqs with
+              | None -> None
+              | Some children ->
+                  let node = mk_plan t g alt.Impl.op children in
+                  if valid_candidate req node then note_candidate node
+                  else None
+            end)
           (Impl.alternatives e req))
       (Smemo.Memo.exprs g)
   in
   let enforcer_candidates =
     List.filter_map
       (fun (alt : Enforcers.alt) ->
+        (* exact for the same memoization reason as implementation
+           children; the enforcer node itself is bound-filtered below *)
         match
           optimize_group t g (Extreq.with_req extreq alt.Enforcers.inner)
         with
-        | None -> None
-        | Some inner ->
-            let node = mk_plan t g alt.Enforcers.op [ inner ] in
-            if valid_candidate req node then begin
-              if Sobs.Trace.enabled () then
-                Sobs.Trace.instant ~pid:(Sobs.Trace.pid_of_phase t.phase)
-                  ~args:
-                    [
-                      ("group", Sobs.Trace.Int g.Smemo.Memo.id);
-                      ("op", Sobs.Trace.Str (Physop.to_string alt.Enforcers.op));
-                    ]
-                  "enforcer";
-              Some node
-            end
-            else None)
+          | None -> None
+          | Some inner ->
+              let node = mk_plan t g alt.Enforcers.op [ inner ] in
+              if valid_candidate req node then begin
+                if Sobs.Trace.enabled () then
+                  Sobs.Trace.instant ~pid:(Sobs.Trace.pid_of_phase t.phase)
+                    ~args:
+                      [
+                        ("group", Sobs.Trace.Int g.Smemo.Memo.id);
+                        ("op", Sobs.Trace.Str (Physop.to_string alt.Enforcers.op));
+                      ]
+                    "enforcer";
+                if bounded then note_candidate node else Some node
+              end
+              else None)
       (Enforcers.alternatives req)
   in
-  cheapest t (impl_candidates @ enforcer_candidates)
+  let result = cheapest t (impl_candidates @ enforcer_candidates) in
+  t.tainted <-
+    !skipped
+    && (match result with None -> true | Some p -> plan_cost t p > bound);
+  result
 
 (* Entry point: optimize the whole memo for the current phase. *)
 let optimize_root t =

@@ -12,6 +12,13 @@ type t = {
   cluster : Scost.Cluster.t;
   budget : Budget.t;
   mutable phase : int;
+  mutable phase2_winner_hits : int;
+      (** winner-cache hits while [phase = 2] — the cross-round reuse
+          the enforcement-slice keying buys (reported by the pipeline) *)
+  mutable tainted : bool;
+      (** branch-and-bound honesty flag: true right after a call whose
+          result may have been degraded by bound-driven skips and so must
+          not be memoized (see {!optimize_group}) *)
   ext : ext;
 }
 
@@ -27,7 +34,8 @@ and ext = {
     Smemo.Memo.group ->
     Extreq.t ->
     self:(Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option) ->
-    log_phys_opt:(Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option) ->
+    log_phys_opt:
+      (?bound:float -> Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option) ->
     Sphys.Plan.t option option;
       (** Algorithm 4, lines 4-12: [Some result] bypasses the default
           optimization (LCA rounds and pinned shared groups) *)
@@ -68,12 +76,19 @@ val cheapest : t -> Sphys.Plan.t list -> Sphys.Plan.t option
 val valid_candidate : Sphys.Reqprops.t -> Sphys.Plan.t -> bool
 
 (** OptimizeGroup (Algorithm 2): best plan of a group under an extended
-    requirement, memoized per phase. *)
-val optimize_group : t -> Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option
+    requirement, memoized per phase.  [?bound] (default infinity: off)
+    enables branch-and-bound: alternatives whose deduplicated
+    partial-children cost provably exceeds [bound] are abandoned.  After a
+    bounded call the result is exact iff [t.tainted] is false; a tainted
+    result's true value is provably above [bound] and is not memoized. *)
+val optimize_group :
+  t -> ?bound:float -> Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option
 
 (** Logical exploration + physical optimization of one group under one
-    requirement — the body of Algorithm 5 (no winner lookup). *)
-val log_phys_opt : t -> Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option
+    requirement — the body of Algorithm 5 (no winner lookup).  [?bound]
+    as in {!optimize_group}. *)
+val log_phys_opt :
+  t -> ?bound:float -> Smemo.Memo.group -> Extreq.t -> Sphys.Plan.t option
 
 (** Optimize the memo's root with no requirement. *)
 val optimize_root : t -> Sphys.Plan.t option

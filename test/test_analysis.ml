@@ -285,6 +285,49 @@ let test_sa013_budget_truncated () =
   (* the full audit therefore passes on a budget-truncated report *)
   Sanalysis.Audit.assert_clean ~cluster:Scost.Cluster.default ~catalog r
 
+(* --- negative: round-pruning audit --------------------------------------- *)
+
+(* SA060: each way a recorded (dropped, dominator) pair can fail the
+   dominance re-verification. *)
+let test_sa060_unsound_prune () =
+  let hx cols sort =
+    Reqprops.make
+      (Reqprops.Hash_exact (Thelpers.colset cols))
+      (Sortorder.asc sort)
+  in
+  let sound_by = hx [ "A" ] [ "x"; "y" ] in
+  let sound_p = hx [ "A" ] [ "x" ] in
+  let pd ~kept pair = Sanalysis.Prune_audit.pair_diags ~shared:7 ~kept pair in
+  (* a genuinely dominated pair with the dominator kept is clean *)
+  Alcotest.(check int)
+    "sound pair" 0
+    (List.length (pd ~kept:[ sound_by ] (sound_p, sound_by)));
+  (* partitionings differ *)
+  assert_code "SA060" (pd ~kept:[ sound_by ] (hx [ "B" ] [ "x" ], sound_by));
+  (* Any on either side is unconstrained, never comparable *)
+  let any = Reqprops.make Reqprops.Any (Sortorder.asc [ "x" ]) in
+  assert_code "SA060" (pd ~kept:[ any ] (any, any));
+  (* empty dropped sort: the cheap baseline must never be pruned *)
+  assert_code "SA060" (pd ~kept:[ sound_by ] (hx [ "A" ] [], sound_by));
+  (* dropped sort not a prefix of the dominator's *)
+  assert_code "SA060" (pd ~kept:[ sound_by ] (hx [ "A" ] [ "z" ], sound_by));
+  (* equal sorts: a duplicate, not a dominated candidate *)
+  assert_code "SA060" (pd ~kept:[ sound_p ] (sound_p, sound_p));
+  (* dominator itself was dropped: the covering round never ran *)
+  assert_code "SA060" (pd ~kept:[] (sound_p, sound_by));
+  (* dropped candidate still generated rounds *)
+  assert_code "SA060"
+    (pd ~kept:[ sound_by; sound_p ] (sound_p, sound_by));
+  (* Prune_audit.run threads the kept candidates per group *)
+  let diags =
+    Sanalysis.Prune_audit.run
+      ~candidates:[ (7, [ sound_by ]) ]
+      [ (7, [ (sound_p, sound_by) ]); (9, [ (sound_p, sound_by) ]) ]
+  in
+  (* group 9 has no kept list recorded: its dominator cannot be kept *)
+  assert_code "SA060" diags;
+  Alcotest.(check int) "only group 9 fires" 1 (List.length diags)
+
 (* --- negative: logical-DAG lint ------------------------------------------ *)
 
 (* SA020: a filter over a column its child does not produce. *)
@@ -570,6 +613,10 @@ let () =
           Alcotest.test_case "SA013 budget-truncated plan" `Quick
             test_sa013_budget_truncated;
           Alcotest.test_case "SA014 unmarked spool" `Quick test_sa014_unmarked_spool;
+        ] );
+      ( "pruning audit",
+        [
+          Alcotest.test_case "SA060 unsound prune" `Quick test_sa060_unsound_prune;
         ] );
       ( "logical lint",
         [

@@ -95,14 +95,21 @@ let test_s2_three_consumer_sharing () =
   Alcotest.(check bool) "S2 saves more than S1" true
     (Cse.Pipeline.ratio r < Cse.Pipeline.ratio r1)
 
+(* The exact round-count tests run with pruning off: they verify the
+   enumeration machinery itself (one round per candidate).  Pruned-mode
+   accounting is covered in test_prune.ml. *)
+let exhaustive = Cse.Config.no_pruning Cse.Config.default
+
 let test_round_counts_s1 () =
-  let r = Lazy.force s1_report in
+  let r = Thelpers.pipeline ~config:exhaustive Sworkload.Paper_scripts.s1 in
   let history = List.assoc (fst (List.hd r.Cse.Pipeline.lcas)) r.Cse.Pipeline.history_sizes in
   Alcotest.(check int) "one round per property set" history
     r.Cse.Pipeline.rounds_executed
 
 let test_independent_sequencing_in_pipeline () =
-  let r = Thelpers.pipeline Sworkload.Paper_scripts.independent_pair in
+  let r =
+    Thelpers.pipeline ~config:exhaustive Sworkload.Paper_scripts.independent_pair
+  in
   let sizes = List.map snd r.Cse.Pipeline.history_sizes in
   (match sizes with
   | [ a; b ] ->
@@ -112,8 +119,7 @@ let test_independent_sequencing_in_pipeline () =
   (* without VIII-A the same script needs the full product *)
   let r2 =
     Thelpers.pipeline
-      ~config:
-        { Cse.Config.default with Cse.Config.use_independent_groups = false }
+      ~config:{ exhaustive with Cse.Config.use_independent_groups = false }
       Sworkload.Paper_scripts.independent_pair
   in
   (match sizes with
