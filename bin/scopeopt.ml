@@ -5,6 +5,8 @@
      explain     - print the logical DAG and the memo with shared groups
      optimize    - run both optimizers and print plans, costs and statistics
      run         - optimize, execute on the simulated cluster, show outputs
+     serve       - long-running engine over a stream of script submissions,
+                   with a fingerprint-keyed plan cache and cross-script CSE
      report      - optimize + execute, emit a machine-readable run report
      check-trace - validate a Chrome trace file written by --trace
      lint        - optimize, then run the full static-analysis audit
@@ -44,6 +46,21 @@ let make_catalog script =
   let catalog = Relalg.Catalog.default () in
   Sworkload.Large_gen.register_files catalog script;
   catalog
+
+(* Write [contents] to [path], closing the descriptor on every path and
+   removing the partial file when the write fails, so an ENOSPC or
+   permission error cannot leave a truncated artifact behind. *)
+let write_file path contents =
+  let oc = open_out path in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      if not !ok then try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      output_string oc contents;
+      flush oc;
+      ok := true)
 
 (* --- common arguments -------------------------------------------------- *)
 
@@ -250,13 +267,13 @@ let exec_summary workers (v : Sexec.Validate.outcome) =
 (* Finish an in-progress trace: stop, merge, write the Chrome file, then
    hold it to the well-formedness checker and — when stages executed —
    the SA045 audit against the engine's per-run attempt counts. *)
-let finish_trace ~attempts path =
+let finish_trace ?(ppf = Fmt.stdout) ~attempts path =
   Sobs.Trace.stop ();
   let events = Sobs.Trace.collect () in
-  let oc = open_out path in
-  Sobs.Trace.write_chrome oc events;
-  close_out oc;
-  Fmt.pr "wrote %s (%d events%s)@." path (List.length events)
+  match Sobs.Trace.export ~path events with
+  | exception Sys_error msg -> Error (`Msg msg)
+  | () ->
+  Fmt.pf ppf "wrote %s (%d events%s)@." path (List.length events)
     (match Sobs.Trace.dropped () with
     | 0 -> ""
     | d -> Printf.sprintf ", %d dropped" d);
@@ -266,7 +283,7 @@ let finish_trace ~attempts path =
       Error (`Msg "trace is not well-formed")
   | [] -> (
       let diags = Sanalysis.Trace_audit.run ~attempts events in
-      if diags <> [] then Fmt.pr "%a" Sanalysis.Diag.pp_report diags;
+      if diags <> [] then Fmt.pf ppf "%a" Sanalysis.Diag.pp_report diags;
       (* propagate the worst severity to the process exit status instead
          of silently swallowing non-error findings *)
       match Sanalysis.Diag.worst diags with
@@ -302,9 +319,7 @@ let optimize run_exec =
       (fun prefix ->
         let write suffix plan =
           let file = prefix ^ "-" ^ suffix ^ ".dot" in
-          let oc = open_out file in
-          output_string oc (Sphys.Plan_pp.to_dot ~name:suffix plan);
-          close_out oc;
+          write_file file (Sphys.Plan_pp.to_dot ~name:suffix plan);
           Fmt.pr "wrote %s@." file
         in
         write "conventional" r.Cse.Pipeline.conventional_plan;
@@ -411,6 +426,300 @@ let run_cmd =
        ~doc:"Optimize and execute on the simulated cluster, validating results")
     (optimize true)
 
+(* --- serve -------------------------------------------------------------- *)
+
+(* The long-running multi-script engine: read a session stream (file,
+   stdin, or the built-in generator), submit scripts to Sserve.Engine,
+   flush batches, and report plan-cache and cross-script sharing
+   figures.  With --trace PREFIX each batch gets its own trace epoch and
+   file (PREFIX-batchN.json), checked and SA045-audited against that
+   batch's stage attempts; with --audit every distinct optimization
+   behind a batch — cached plans included — goes through the deep strict
+   static-analysis audit. *)
+let serve_cmd =
+  let gen_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gen" ] ~docv:"N"
+          ~doc:
+            "Generate a session stream of $(docv) scripts with the built-in \
+             generator instead of reading one (duplicates, alias-renamed \
+             variants, batched shared-scan pairs, one catalog bump).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed for --gen.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one run report as JSON (schema scopecse-run-report/3, \
+             with the serve section) on stdout; the per-batch narration \
+             moves to stderr.")
+  in
+  let trace_prefix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PREFIX"
+          ~doc:
+            "Record each batch in its own trace epoch and write \
+             $(docv)-batchN.json per batch, checked for well-formedness \
+             and cross-checked against that batch's stage attempts \
+             (SA045).")
+  in
+  let f machines workers no_ext no_prune verbose audit json trace budget gen
+      seed file =
+    setup_logs verbose;
+    let out = if json then Fmt.epr else Fmt.pr in
+    let catalog = Relalg.Catalog.default () in
+    Sworkload.Session_gen.register catalog;
+    let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
+    let config = base_config ~no_ext ~no_prune in
+    let engine =
+      Sserve.Engine.create ~config ?max_seconds:budget ~cluster ~workers
+        catalog
+    in
+    let next =
+      match (gen, file) with
+      | Some _, Some _ -> Error (`Msg "give either a stream file or --gen, not both")
+      | Some n, None ->
+          let items =
+            ref
+              (Sserve.Session.items_of_string
+                 (Sworkload.Session_gen.generate ~seed ~scripts:n ()))
+          in
+          Ok
+            (fun () ->
+              match !items with
+              | [] -> None
+              | it :: rest ->
+                  items := rest;
+                  Some it)
+      | None, Some f ->
+          let ic = open_in f in
+          at_exit (fun () -> close_in_noerr ic);
+          Ok (fun () -> Sserve.Session.read ic)
+      | None, None -> Ok (fun () -> Sserve.Session.read stdin)
+    in
+    Result.bind next (fun next ->
+        let failed = ref 0 and audit_failed = ref 0 and trace_failed = ref 0 in
+        let batch_json = ref [] in
+        let flush () =
+          match Sserve.Engine.flush engine with
+          | None -> ()
+          | Some b ->
+              List.iter
+                (fun (r : Sserve.Engine.session_result) ->
+                  match r.Sserve.Engine.status with
+                  | Sserve.Engine.Failed msg ->
+                      incr failed;
+                      out "batch %d: %s FAILED: %s@." b.Sserve.Engine.seq
+                        r.Sserve.Engine.id msg
+                  | Sserve.Engine.Done { cache_hit; combined } ->
+                      out
+                        "batch %d: %s %s%s cse cost %.5g (conventional \
+                         %.5g), %d output(s), %d row(s)@."
+                        b.Sserve.Engine.seq r.Sserve.Engine.id
+                        (if cache_hit then "cache hit" else "cache miss")
+                        (if combined then ", combined run" else "")
+                        r.Sserve.Engine.cse_cost
+                        r.Sserve.Engine.conventional_cost
+                        (List.length r.Sserve.Engine.outputs)
+                        r.Sserve.Engine.rows)
+                b.Sserve.Engine.results;
+              if b.Sserve.Engine.combined then
+                out
+                  "batch %d: combined cost %.5g vs solo sum %.5g; %d \
+                   cross-script share(s)@."
+                  b.Sserve.Engine.seq
+                  (Option.value ~default:0.0 b.Sserve.Engine.combined_cost)
+                  (Option.value ~default:0.0 b.Sserve.Engine.solo_cost_sum)
+                  b.Sserve.Engine.cross_script_shares;
+              (match trace with
+              | None -> ()
+              | Some prefix -> (
+                  let path =
+                    Printf.sprintf "%s-batch%d.json" prefix b.Sserve.Engine.seq
+                  in
+                  match
+                    finish_trace
+                      ~ppf:(if json then Fmt.stderr else Fmt.stdout)
+                      ~attempts:b.Sserve.Engine.attempts path
+                  with
+                  | Ok () -> ()
+                  | Error (`Msg msg) ->
+                      incr trace_failed;
+                      out "batch %d: trace: %s@." b.Sserve.Engine.seq msg));
+              if audit then
+                List.iter
+                  (fun r ->
+                    (* like run_audit ~deep ~strict, but narrating through
+                       [out] so --json keeps stdout pure JSON *)
+                    let diags =
+                      Sanalysis.Audit.report ~deep:true ~cluster ~catalog r
+                    in
+                    if diags <> [] then
+                      out "%a%a" Sanalysis.Diag.pp_report diags
+                        Sanalysis.Diag.pp_summary diags;
+                    if
+                      Sanalysis.Diag.exit_code
+                        ~fail_on:Sanalysis.Diag.Warning diags
+                      <> 0
+                    then incr audit_failed)
+                  b.Sserve.Engine.reports;
+              if json then
+                let num f = Sobs.Json.Num f in
+                let int i = num (float_of_int i) in
+                let opt = function None -> Sobs.Json.Null | Some c -> num c in
+                batch_json :=
+                  Sobs.Json.Obj
+                    [
+                      ("seq", int b.Sserve.Engine.seq);
+                      ("combined", Sobs.Json.Bool b.Sserve.Engine.combined);
+                      ("combined_cost", opt b.Sserve.Engine.combined_cost);
+                      ("solo_cost_sum", opt b.Sserve.Engine.solo_cost_sum);
+                      ( "cross_script_shares",
+                        int b.Sserve.Engine.cross_script_shares );
+                      ("wall_s", num b.Sserve.Engine.wall_s);
+                      ( "sessions",
+                        Sobs.Json.Arr
+                          (List.map
+                             (fun (r : Sserve.Engine.session_result) ->
+                               Sobs.Json.Obj
+                                 (( "id",
+                                    Sobs.Json.Str r.Sserve.Engine.id )
+                                 :: (match r.Sserve.Engine.fingerprint with
+                                    | None -> []
+                                    | Some fp ->
+                                        (* fingerprints exceed double
+                                           precision: keep them exact *)
+                                        [
+                                          ( "fingerprint",
+                                            Sobs.Json.Str (string_of_int fp)
+                                          );
+                                        ])
+                                 @
+                                 match r.Sserve.Engine.status with
+                                 | Sserve.Engine.Failed msg ->
+                                     [
+                                       ("status", Sobs.Json.Str "failed");
+                                       ("error", Sobs.Json.Str msg);
+                                     ]
+                                 | Sserve.Engine.Done { cache_hit; combined }
+                                   ->
+                                     [
+                                       ("status", Sobs.Json.Str "done");
+                                       ( "cache_hit",
+                                         Sobs.Json.Bool cache_hit );
+                                       ("combined", Sobs.Json.Bool combined);
+                                       ( "conventional_cost",
+                                         num
+                                           r.Sserve.Engine.conventional_cost
+                                       );
+                                       ("cse_cost", num r.Sserve.Engine.cse_cost);
+                                       ( "outputs",
+                                         int
+                                           (List.length
+                                              r.Sserve.Engine.outputs) );
+                                       ("rows", int r.Sserve.Engine.rows);
+                                     ]))
+                             b.Sserve.Engine.results) );
+                    ]
+                  :: !batch_json
+        in
+        let rec loop () =
+          match next () with
+          | None -> flush ()
+          | Some (Sserve.Session.Script { id; text }) ->
+              if trace <> None && Sserve.Engine.pending_count engine = 0 then
+                Sobs.Trace.start ();
+              Sserve.Engine.submit engine ~id ~text;
+              loop ()
+          | Some Sserve.Session.Flush ->
+              flush ();
+              loop ()
+          | Some Sserve.Session.Catalog_bump ->
+              flush ();
+              let purged = Sserve.Engine.catalog_bump engine in
+              out "catalog bump: statistics epoch %d, %d cache entr%s purged@."
+                (Relalg.Catalog.version catalog)
+                purged
+                (if purged = 1 then "y" else "ies");
+              loop ()
+          | Some Sserve.Session.Quit -> flush ()
+        in
+        match loop () with
+        | exception Sserve.Session.Protocol_error msg -> Error (`Msg msg)
+        | () ->
+            let t = Sserve.Engine.totals engine in
+            out
+              "serve: sessions=%d batches=%d cache_hits=%d cache_misses=%d \
+               cache_invalidations=%d cache_size=%d combined_runs=%d \
+               cross_script_shares=%d@."
+              t.Sserve.Engine.sessions t.Sserve.Engine.batches
+              t.Sserve.Engine.cache_hits t.Sserve.Engine.cache_misses
+              t.Sserve.Engine.cache_invalidations t.Sserve.Engine.cache_size
+              t.Sserve.Engine.combined_runs
+              t.Sserve.Engine.cross_script_shares;
+            if json then begin
+              let int i = Sobs.Json.Num (float_of_int i) in
+              print_string
+                (Sobs.Json.to_string
+                   (Sobs.Json.Obj
+                      [
+                        ( "schema",
+                          Sobs.Json.Str "scopecse-run-report/3" );
+                        ("machines", int machines);
+                        ( "serve",
+                          Sobs.Json.Obj
+                            [
+                              ("sessions", int t.Sserve.Engine.sessions);
+                              ("batches", int t.Sserve.Engine.batches);
+                              ("cache_hits", int t.Sserve.Engine.cache_hits);
+                              ( "cache_misses",
+                                int t.Sserve.Engine.cache_misses );
+                              ( "cache_invalidations",
+                                int t.Sserve.Engine.cache_invalidations );
+                              ("cache_size", int t.Sserve.Engine.cache_size);
+                              ( "combined_runs",
+                                int t.Sserve.Engine.combined_runs );
+                              ( "cross_script_shares",
+                                int t.Sserve.Engine.cross_script_shares );
+                              ( "batches_detail",
+                                Sobs.Json.Arr (List.rev !batch_json) );
+                            ] );
+                      ]))
+            end;
+            if !failed > 0 then
+              Error (`Msg (Printf.sprintf "%d session(s) failed" !failed))
+            else if !audit_failed > 0 then
+              Error
+                (`Msg (Printf.sprintf "%d audit failure(s)" !audit_failed))
+            else if !trace_failed > 0 then
+              Error
+                (`Msg (Printf.sprintf "%d trace failure(s)" !trace_failed))
+            else Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-running multi-script engine over a session stream \
+          (file, stdin, or --gen): scripts are normalized and served from a \
+          fingerprint-keyed plan cache (hits skip bind/optimize entirely; a \
+          catalog bump invalidates), and concurrently-batched fresh scripts \
+          are optimized as one combined memo so common subexpressions \
+          across scripts share scans and spools in a single executor run")
+    Term.(
+      term_result
+        (const f $ machines_arg $ workers_arg $ no_ext_arg $ no_prune_arg
+       $ verbose_arg $ audit_arg $ json_arg $ trace_prefix_arg $ budget_arg
+       $ gen_arg $ seed_arg $ file_arg))
+
 (* --- report ------------------------------------------------------------ *)
 
 let json_of_hist (s : Sobs.Hist.summary) =
@@ -430,14 +739,16 @@ let json_of_hist (s : Sobs.Hist.summary) =
              s.Sobs.Hist.buckets) );
     ]
 
-(* The machine-readable run report.  Schema "scopecse-run-report/2":
+(* The machine-readable run report.  Schema "scopecse-run-report/3":
    optimization costs and task counts from the pipeline report — since /2
    including the round-pruning tallies (rounds_pruned,
    rounds_aborted_bound, phase2_winner_reuse_hits) — the execution
    outcome (wall, per-worker busy, utilization, per-stage timeline with
-   wave depths), full counter deltas and histogram summaries.
-   Documented in README.md; new fields may be added, existing ones keep
-   their meaning. *)
+   wave depths), full counter deltas and histogram summaries.  /3 adds
+   the optional "serve" section emitted by the serve subcommand (plan
+   cache and cross-script sharing figures); single-script reports omit
+   it.  Documented in README.md; new fields may be added, existing ones
+   keep their meaning. *)
 let json_report ~machines ~workers (r : Cse.Pipeline.report)
     (v : Sexec.Validate.outcome) ~counters =
   let num f = Sobs.Json.Num f in
@@ -458,7 +769,7 @@ let json_report ~machines ~workers (r : Cse.Pipeline.report)
   let exec_sum = exec_summary workers v in
   Sobs.Json.Obj
     [
-      ("schema", Sobs.Json.Str "scopecse-run-report/2");
+      ("schema", Sobs.Json.Str "scopecse-run-report/3");
       ("machines", int machines);
       ( "optimization",
         Sobs.Json.Obj
@@ -516,13 +827,13 @@ let report_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit the run report as JSON (schema scopecse-run-report/2) \
+            "Emit the run report as JSON (schema scopecse-run-report/3) \
              instead of the human-readable summary.")
   in
   let f machines budget no_ext no_prune verbose workers trace json script =
     setup_logs verbose;
     if trace <> None then Sobs.Trace.start ();
-    let counters_before = Sutil.Counters.snapshot () in
+    let counters_before = Sutil.Counters.baseline () in
     let catalog = make_catalog script in
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
     let config = base_config ~no_ext ~no_prune in
@@ -535,7 +846,7 @@ let report_cmd =
         r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
     in
     r.Cse.Pipeline.exec <- Some (exec_summary workers v);
-    let counters = Sutil.Counters.since counters_before in
+    let counters = Sutil.Counters.deltas counters_before in
     let trace_result =
       match trace with
       | None -> Ok ()
@@ -709,6 +1020,7 @@ let main =
       explain_cmd;
       optimize_cmd;
       run_cmd;
+      serve_cmd;
       report_cmd;
       check_trace_cmd;
       lint_cmd;

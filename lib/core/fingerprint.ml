@@ -18,6 +18,23 @@ let file_id file = (Hashtbl.hash file * 2654435761) land max_int
    trivially. *)
 let op_id op = (Slogical.Logop.op_id op * 0x9E3779B9) land max_int
 
+(* Text fingerprints for the serve-mode plan cache: two independent
+   polynomial hashes over sub-2^30 primes (so every intermediate product
+   stays well inside the 63-bit native range) recombined into the same
+   [modulus] space as the expression fingerprints above. *)
+let hp1 = 1_073_741_789
+let hp2 = 1_073_741_783
+
+let hash_string s =
+  let h1 = ref 17 and h2 = ref 31 in
+  String.iter
+    (fun ch ->
+      let c = Char.code ch in
+      h1 := ((!h1 * 131) + c) mod hp1;
+      h2 := ((!h2 * 137) + c) mod hp2)
+    s;
+  ((!h1 * hp2) + !h2) mod modulus
+
 (* Fingerprints of every reachable memo group, computed bottom-up from the
    single initial expression each group holds at this stage. *)
 let of_memo (memo : Smemo.Memo.t) : (int, int) Hashtbl.t =

@@ -15,6 +15,13 @@ val modulus : int
 val file_id : string -> int
 val op_id : Slogical.Logop.t -> int
 
+(** Fingerprint of an arbitrary string in the same [0, modulus) space as
+    the expression fingerprints: two independent polynomial hashes over
+    sub-2{^30} primes, recombined — overflow-free on 63-bit ints.  The
+    serve-mode plan cache keys on [hash_string] of the normalized script
+    text (plus the catalog version). *)
+val hash_string : string -> int
+
 (** Fingerprints of every reachable group, computed bottom-up from each
     group's single initial expression. *)
 val of_memo : Smemo.Memo.t -> (int, int) Hashtbl.t

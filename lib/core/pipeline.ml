@@ -133,7 +133,7 @@ let timed f =
 
 let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     ~(catalog : Relalg.Catalog.t) (script : string) : report =
-  let counters_before = Sutil.Counters.snapshot () in
+  let counters_before = Sutil.Counters.baseline () in
   let fe = Sobs.Trace.pid_frontend in
   let ast =
     Sobs.Trace.with_span ~pid:fe "parse" (fun () ->
@@ -234,6 +234,6 @@ let run ?(config = Config.default) ?budget ?(cluster = Scost.Cluster.default)
     candidate_props;
     pruned_props = state.Phase2.pruned_props;
     shared_info = si;
-    counters = Sutil.Counters.since counters_before;
+    counters = Sutil.Counters.deltas counters_before;
     exec = None;
   }

@@ -149,6 +149,13 @@ let start ?capacity:(cap = 1 lsl 18) () =
 
 let stop () = Atomic.set enabled_flag false
 
+(* The current trace epoch.  [start] begins a new epoch: buffers from
+   earlier epochs are dropped at the next recording, timestamps restart
+   at zero and [collect] returns this epoch's events only — the per-run
+   scoping the serve loop relies on for back-to-back runs in one
+   process. *)
+let epoch () = Mutex.protect mu (fun () -> !generation)
+
 let dropped () =
   Mutex.protect mu (fun () ->
       List.fold_left (fun acc b -> acc + b.dropped) 0 !registry)
@@ -282,17 +289,40 @@ let write_chrome oc (events : event list) =
   Buffer.add_string buf "\n]}\n";
   flush_buf ()
 
+(* Write a Chrome trace file, closing the descriptor and removing the
+   partial file if anything fails mid-write (ENOSPC, permissions): a
+   truncated JSON left behind would make a later [check-trace] choke on
+   what looks like a complete artifact. *)
+let export ~path events =
+  let oc = open_out path in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      if not !ok then try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      write_chrome oc events;
+      (* surface buffered-write failures here, not at close_out_noerr *)
+      flush oc;
+      ok := true)
+
 let chrome_string events =
   let path = Filename.temp_file "trace" ".json" in
-  let oc = open_out path in
-  write_chrome oc events;
-  close_out oc;
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  Sys.remove path;
-  s
+  (* the temp file must not outlive the round-trip, whichever way it
+     ends: remove it on success and on any write/read failure *)
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          write_chrome oc events;
+          flush oc);
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
 
 (* --- re-reading (the CI checker's entry point) ------------------------- *)
 

@@ -53,6 +53,13 @@ val start : ?capacity:int -> unit -> unit
 (** Disable tracing.  Recorded events remain available to {!collect}. *)
 val stop : unit -> unit
 
+(** The current trace epoch.  Each {!start} begins a new epoch:
+    timestamps restart at zero, buffers from earlier epochs are dropped,
+    and {!collect} returns this epoch's events only.  Long-running
+    callers (the serve loop) use the epoch to assert per-run scoping
+    across back-to-back runs in one process. *)
+val epoch : unit -> int
+
 val enabled : unit -> bool
 
 (** Events dropped to capacity since {!start}, summed over domains. *)
@@ -83,6 +90,12 @@ val collect : unit -> event list
 (** Write events as a Chrome trace-event JSON document, with metadata
     records naming each phase (process) and worker (thread). *)
 val write_chrome : out_channel -> event list -> unit
+
+(** {!write_chrome} to a file.  The descriptor is closed on every path;
+    if the write fails (disk full, permissions) the partial file is
+    removed before the exception propagates, so no truncated trace is
+    left looking like a complete artifact. *)
+val export : path:string -> event list -> unit
 
 (** {!write_chrome} to a string (convenience for tests). *)
 val chrome_string : event list -> string

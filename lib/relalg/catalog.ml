@@ -12,11 +12,27 @@ type file_stats = {
   columns : col_stats list;
 }
 
-type t = { files : (string, file_stats) Hashtbl.t }
+type t = {
+  files : (string, file_stats) Hashtbl.t;
+  mutable version : int;
+      (* statistics epoch: bumped whenever an existing file's statistics
+         change (or explicitly via [bump_version]), so long-lived plan
+         caches keyed on it are invalidated exactly when cached plans may
+         have gone stale.  Registering a *new* file leaves the version
+         alone: plans optimized before the file existed cannot read it. *)
+}
 
-let create () = { files = Hashtbl.create 16 }
+let create () = { files = Hashtbl.create 16; version = 0 }
 
-let register t stats = Hashtbl.replace t.files stats.path stats
+let version t = t.version
+
+let bump_version t = t.version <- t.version + 1
+
+let register t stats =
+  (match Hashtbl.find_opt t.files stats.path with
+  | Some old when old <> stats -> bump_version t
+  | _ -> ());
+  Hashtbl.replace t.files stats.path stats
 
 let find t path = Hashtbl.find_opt t.files path
 

@@ -13,7 +13,21 @@ type file_stats = {
 type t
 
 val create : unit -> t
+
+(** Register a file's statistics.  Re-registering an existing path with
+    {e different} statistics bumps the catalog {!version} (cached plans
+    for scripts reading it are stale); registering a brand-new path does
+    not (existing plans cannot reference it). *)
 val register : t -> file_stats -> unit
+
+(** Statistics epoch of the catalog, starting at 0.  Long-lived plan
+    caches (the serve engine) key cached plans on it: a bump invalidates
+    every plan optimized under an older version. *)
+val version : t -> int
+
+(** Explicitly start a new statistics epoch (e.g. the serve protocol's
+    [#catalog-bump] directive). *)
+val bump_version : t -> unit
 val find : t -> string -> file_stats option
 
 (** Schema induced by the catalog entry. *)

@@ -1,0 +1,398 @@
+(* The long-running serve engine: accepts a stream of script
+   submissions, consults the plan cache, batches concurrently-submitted
+   fresh scripts into one combined memo so phase 2 detects common
+   subexpressions *across* scripts, and executes everything on one
+   persistent executor.
+
+   Per flushed batch:
+
+   1. parse + normalize each pending script; a parse failure fails that
+      session only;
+   2. classify against the cache.  A hit reuses the cached pipeline
+      report — parse happened but bind/optimize are skipped.  The first
+      occurrence of a fresh fingerprint is a miss and is solo-optimized
+      to populate the cache (so later submissions anywhere in the stream
+      reuse it); further occurrences in the same batch count as hits;
+   3. execute.  Hits and duplicates run their cached [cse_plan]
+      individually.  When the batch holds two or more distinct misses,
+      their normalized scripts are combined into one script
+      ([Normalize.combine]) and optimized as one memo: structurally
+      identical subexpressions fingerprint-merge across scripts, so a
+      shared scan spools once in a single executor pass.  The combined
+      run's outputs are split positionally back to sessions.  Combined
+      plans are never cached — only solo optimizations populate the
+      cache, so a cache entry always means "this script alone".
+
+   Failures are contained per session or per batch: a combined run that
+   misbehaves (optimizer failure, output-count mismatch) falls back to
+   executing each miss's cached solo plan. *)
+
+let c_sessions = Sutil.Counters.counter "serve.sessions"
+let c_batches = Sutil.Counters.counter "serve.batches"
+let c_combined = Sutil.Counters.counter "serve.combined_runs"
+let c_cross = Sutil.Counters.counter "serve.cross_script_shares"
+
+type status = Done of { cache_hit : bool; combined : bool } | Failed of string
+
+type session_result = {
+  id : string;
+  fingerprint : int option;  (* [None] when parsing failed *)
+  status : status;
+  conventional_cost : float;  (* solo costs from the cache entry *)
+  cse_cost : float;
+  outputs : (string * Relalg.Table.t) list;  (* statement order *)
+  rows : int;  (* total rows across outputs *)
+}
+
+type batch_result = {
+  seq : int;  (* 1-based batch number *)
+  results : session_result list;  (* submission order *)
+  combined : bool;
+  combined_cost : float option;  (* DAG cost of the combined plan *)
+  solo_cost_sum : float option;  (* sum of the combined members' solo costs *)
+  cross_script_shares : int;  (* spools read by >= 2 sessions *)
+  counters : (string * int) list;  (* counter deltas over this flush *)
+  wall_s : float;  (* executor wall seconds, summed over runs *)
+  attempts : int array list;  (* per-run stage attempts, for trace audit *)
+  reports : Cse.Pipeline.report list;
+      (* distinct optimizations behind this batch (one per distinct
+         fingerprint, plus the combined run) — audit targets *)
+}
+
+type t = {
+  catalog : Relalg.Catalog.t;
+  cluster : Scost.Cluster.t;
+  config : Cse.Config.t;
+  max_tasks : int option;
+  max_seconds : float option;
+  cache : Plan_cache.t;
+  exec : Sexec.Engine.t;
+  mutable pending : (string * string) list;  (* (id, text), reversed *)
+  mutable batches : int;
+}
+
+let create ?(config = Cse.Config.default) ?max_tasks ?max_seconds
+    ?(cluster = Scost.Cluster.default) ?(workers = 1)
+    (catalog : Relalg.Catalog.t) =
+  {
+    catalog;
+    cluster;
+    config;
+    max_tasks;
+    max_seconds;
+    cache = Plan_cache.create ();
+    exec =
+      Sexec.Engine.create ~workers ~machines:cluster.Scost.Cluster.machines
+        catalog;
+    pending = [];
+    batches = 0;
+  }
+
+let cache t = t.cache
+
+let submit t ~id ~text = t.pending <- (id, text) :: t.pending
+
+let pending_count t = List.length t.pending
+
+let catalog_bump t =
+  Relalg.Catalog.bump_version t.catalog;
+  Plan_cache.purge_stale t.cache
+    ~current_version:(Relalg.Catalog.version t.catalog)
+
+(* A fresh budget per optimization: budgets are mutable task/time
+   accumulators, so sharing one across pipeline runs would starve later
+   scripts. *)
+let budget t =
+  match (t.max_tasks, t.max_seconds) with
+  | None, None -> None
+  | _ ->
+      Some
+        (Sopt.Budget.create ?max_tasks:t.max_tasks ?max_seconds:t.max_seconds
+           ())
+
+let describe = function
+  | Failure m -> m
+  | Cse.Pipeline.No_plan m -> m
+  | Slang.Parser.Error (m, _) -> m
+  | Slogical.Binder.Error m -> m
+  | e -> Printexc.to_string e
+
+(* Record the executor's figures for the run that just finished into the
+   report, and account wall time / stage attempts to the batch. *)
+let note_run t wall attempts (report : Cse.Pipeline.report) =
+  report.Cse.Pipeline.exec <-
+    Some
+      {
+        Cse.Pipeline.workers = t.exec.Sexec.Engine.workers;
+        wall_s = t.exec.Sexec.Engine.last_wall;
+        busy_s = t.exec.Sexec.Engine.last_busy;
+      };
+  wall := !wall +. t.exec.Sexec.Engine.last_wall;
+  attempts := t.exec.Sexec.Engine.last_attempts :: !attempts
+
+(* Distinct spool nodes (physical identity) reachable from [roots]. *)
+let spool_set roots =
+  let visited = ref [] in
+  let spools = ref [] in
+  let rec go (n : Sphys.Plan.t) =
+    if not (List.memq n !visited) then (
+      visited := n :: !visited;
+      (match n.Sphys.Plan.op with
+      | Sphys.Physop.P_spool -> spools := n :: !spools
+      | _ -> ());
+      List.iter go n.Sphys.Plan.children)
+  in
+  List.iter go roots;
+  !spools
+
+(* Split [xs] into consecutive slices of the given lengths; [None] when
+   the total does not add up. *)
+let split_by counts xs =
+  let rec take n xs acc =
+    if n = 0 then Some (List.rev acc, xs)
+    else match xs with [] -> None | x :: rest -> take (n - 1) rest (x :: acc)
+  in
+  let rec go counts xs acc =
+    match counts with
+    | [] -> if xs = [] then Some (List.rev acc) else None
+    | c :: rest -> (
+        match take c xs [] with
+        | None -> None
+        | Some (slice, xs') -> go rest xs' (slice :: acc))
+  in
+  go counts xs []
+
+(* Spools referenced by at least two of the per-session plan slices: the
+   cross-script sharing the combined memo bought us. *)
+let cross_script_spools (plan : Sphys.Plan.t) output_counts =
+  let children =
+    match plan.Sphys.Plan.op with
+    | Sphys.Physop.P_sequence -> plan.Sphys.Plan.children
+    | _ -> [ plan ]
+  in
+  match split_by output_counts children with
+  | None -> 0
+  | Some slices ->
+      let sets = List.map spool_set slices in
+      let distinct =
+        List.fold_left
+          (fun acc s -> if List.memq s acc then acc else s :: acc)
+          [] (List.concat sets)
+      in
+      List.length
+        (List.filter
+           (fun s ->
+             List.length (List.filter (fun set -> List.memq s set) sets) >= 2)
+           distinct)
+
+(* One successfully-parsed submission, with its cache entry. *)
+type classified = {
+  c_id : string;
+  c_entry : Plan_cache.entry;
+  c_norm : Slang.Ast.script;
+  c_hit : bool;  (* found in cache, or a within-batch duplicate *)
+}
+
+let result_of ~combined (c : classified) outputs =
+  let e = c.c_entry in
+  {
+    id = c.c_id;
+    fingerprint = Some e.Plan_cache.fingerprint;
+    status = Done { cache_hit = c.c_hit; combined };
+    conventional_cost = e.Plan_cache.report.Cse.Pipeline.conventional_cost;
+    cse_cost = e.Plan_cache.report.Cse.Pipeline.cse_cost;
+    outputs;
+    rows =
+      List.fold_left
+        (fun acc (_, tbl) -> acc + Relalg.Table.cardinality tbl)
+        0 outputs;
+  }
+
+let flush t : batch_result option =
+  let pending = List.rev t.pending in
+  t.pending <- [];
+  if pending = [] then None
+  else begin
+    let before = Sutil.Counters.baseline () in
+    t.batches <- t.batches + 1;
+    Sutil.Counters.bump c_batches 1;
+    Sutil.Counters.bump c_sessions (List.length pending);
+    let version = Relalg.Catalog.version t.catalog in
+    let wall = ref 0.0 and attempts = ref [] in
+    (* classify in submission order; the first occurrence of a fresh
+       fingerprint solo-optimizes and populates the cache *)
+    let classified =
+      List.map
+        (fun (id, text) ->
+          match
+            let norm = Normalize.parse text in
+            let ntext = Normalize.to_text norm in
+            let fp = Plan_cache.key ~catalog_version:version ntext in
+            match Plan_cache.find t.cache fp with
+            | Some e ->
+                Plan_cache.note_hit e;
+                { c_id = id; c_entry = e; c_norm = norm; c_hit = true }
+            | None ->
+                let report =
+                  Cse.Pipeline.run ~config:t.config ?budget:(budget t)
+                    ~cluster:t.cluster ~catalog:t.catalog ntext
+                in
+                let e =
+                  {
+                    Plan_cache.fingerprint = fp;
+                    normalized = ntext;
+                    outputs = Normalize.outputs_of norm;
+                    catalog_version = version;
+                    report;
+                    hits = 0;
+                  }
+                in
+                Plan_cache.add t.cache e;
+                { c_id = id; c_entry = e; c_norm = norm; c_hit = false }
+          with
+          | c -> Ok c
+          | exception e -> Error (id, describe e))
+        pending
+    in
+    (* the actual misses, one per fresh fingerprint, in batch order *)
+    let misses =
+      List.filter_map
+        (function Ok c when not c.c_hit -> Some c | _ -> None)
+        classified
+    in
+    let combined_info =
+      if List.length misses < 2 then None
+      else
+        (* combine the misses into one memo; fingerprints merge common
+           subexpressions across the scripts, so shared scans spool once *)
+        let combined_text =
+          Normalize.to_text
+            (Normalize.combine (List.map (fun c -> c.c_norm) misses))
+        in
+        match
+          let report =
+            Cse.Pipeline.run ~config:t.config ?budget:(budget t)
+              ~cluster:t.cluster ~catalog:t.catalog combined_text
+          in
+          let outs = Sexec.Engine.run t.exec report.Cse.Pipeline.cse_plan in
+          note_run t wall attempts report;
+          let counts = List.map (fun c -> c.c_entry.Plan_cache.outputs) misses in
+          match split_by counts outs with
+          | None -> None (* output miscount: fall back to solo runs *)
+          | Some slices ->
+              let shares =
+                cross_script_spools report.Cse.Pipeline.cse_plan counts
+              in
+              Sutil.Counters.bump c_cross shares;
+              Sutil.Counters.bump c_combined 1;
+              let per_session =
+                List.map2
+                  (fun c slice ->
+                    ( c,
+                      List.map
+                        (fun (f, tbl) -> (Normalize.untag_output f, tbl))
+                        slice ))
+                  misses slices
+              in
+              Some (report, shares, per_session)
+        with
+        | info -> info
+        | exception _ -> None
+    in
+    let combined_outputs =
+      match combined_info with Some (_, _, per) -> per | None -> []
+    in
+    let results =
+      List.map
+        (function
+          | Error (id, msg) ->
+              {
+                id;
+                fingerprint = None;
+                status = Failed msg;
+                conventional_cost = 0.0;
+                cse_cost = 0.0;
+                outputs = [];
+                rows = 0;
+              }
+          | Ok c -> (
+              match List.assq_opt c combined_outputs with
+              | Some outs -> result_of ~combined:true c outs
+              | None ->
+                  (* cache hits, within-batch duplicates, single miss, or
+                     combined-run fallback: run the cached solo plan *)
+                  let outs =
+                    Sexec.Engine.run t.exec
+                      c.c_entry.Plan_cache.report.Cse.Pipeline.cse_plan
+                  in
+                  note_run t wall attempts c.c_entry.Plan_cache.report;
+                  result_of ~combined:false c outs))
+        classified
+    in
+    (* distinct optimizations behind this batch, for auditing: one per
+       distinct fingerprint (cached plans included), plus the combined
+       run *)
+    let reports =
+      let seen = Hashtbl.create 8 in
+      List.filter_map
+        (function
+          | Error _ -> None
+          | Ok c ->
+              let fp = c.c_entry.Plan_cache.fingerprint in
+              if Hashtbl.mem seen fp then None
+              else (
+                Hashtbl.add seen fp ();
+                Some c.c_entry.Plan_cache.report))
+        classified
+      @ match combined_info with Some (r, _, _) -> [ r ] | None -> []
+    in
+    Some
+      {
+        seq = t.batches;
+        results;
+        combined = combined_info <> None;
+        combined_cost =
+          Option.map
+            (fun (r, _, _) ->
+              Scost.Dagcost.cost t.cluster r.Cse.Pipeline.cse_plan)
+            combined_info;
+        solo_cost_sum =
+          (match combined_info with
+          | None -> None
+          | Some _ ->
+              Some
+                (List.fold_left
+                   (fun acc c ->
+                     acc +. c.c_entry.Plan_cache.report.Cse.Pipeline.cse_cost)
+                   0.0 misses));
+        cross_script_shares =
+          (match combined_info with Some (_, s, _) -> s | None -> 0);
+        counters = Sutil.Counters.deltas before;
+        wall_s = !wall;
+        attempts = List.rev !attempts;
+        reports;
+      }
+  end
+
+type totals = {
+  sessions : int;
+  batches : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_invalidations : int;
+  cache_size : int;
+  combined_runs : int;
+  cross_script_shares : int;
+}
+
+let totals t =
+  {
+    sessions = Sutil.Counters.get "serve.sessions";
+    batches = Sutil.Counters.get "serve.batches";
+    cache_hits = Sutil.Counters.get "serve.cache_hits";
+    cache_misses = Sutil.Counters.get "serve.cache_misses";
+    cache_invalidations = Sutil.Counters.get "serve.cache_invalidations";
+    cache_size = Plan_cache.size t.cache;
+    combined_runs = Sutil.Counters.get "serve.combined_runs";
+    cross_script_shares = Sutil.Counters.get "serve.cross_script_shares";
+  }

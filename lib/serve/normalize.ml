@@ -1,0 +1,172 @@
+(* Script normalization for the serve-mode plan cache.
+
+   Two submissions that differ only in whitespace, comments, assigned
+   relation names or source aliases must hit the same cache entry and
+   reuse the same plan.  Parsing already erases lexical noise; this pass
+   erases the author's choice of names:
+
+   - assigned relation names are alpha-renamed to [_r0.._rN] in
+     first-assignment order (shadowing re-assigns the original name to a
+     fresh canonical one, matching the binder's last-assignment-wins
+     scoping);
+   - every SELECT source gets a positional canonical alias [_q0..] over
+     [FROM] then [JOIN] order, and all qualified column references are
+     rewritten through it.  This matters beyond cache keying: the binder
+     leaks source aliases into the physical column names of multi-source
+     selects ([alias.col] rename projections), so canonical aliases make
+     alias-renamed variants produce structurally identical DAGs — the
+     combined-memo fingerprint pass can then merge them across scripts;
+   - EXTRACT and OUTPUT paths are reduced with [Binder.normalize_path],
+     the same basename reduction the binder applies at bind time.
+
+   Output-visible names are deliberately untouched: select-item aliases
+   determine output schemas and ORDER BY resolves against them, so both
+   stay as written.  Unaliased qualified items are safe to requalify —
+   the binder names them by the bare column ([default_alias]). *)
+
+open Slang.Ast
+
+let canon_rel i = Printf.sprintf "_r%d" i
+let canon_src i = Printf.sprintf "_q%d" i
+
+let rename map name =
+  match Hashtbl.find_opt map name with Some n -> n | None -> name
+
+(* Rewrite the qualifiers of every column reference through [qmap]
+   (effective source name -> canonical alias).  Unqualified references
+   resolve positionally in the binder and need no rewrite. *)
+let rec requalify qmap (e : expr) : expr =
+  match e with
+  | Col_ref (Some q, c) -> Col_ref (Some (rename qmap q), c)
+  | Col_ref (None, _) | Int_lit _ | Float_lit _ | Str_lit _ | Star -> e
+  | Call (f, args) -> Call (f, List.map (requalify qmap) args)
+  | Binop (op, a, b) -> Binop (op, requalify qmap a, requalify qmap b)
+  | Cmp (op, a, b) -> Cmp (op, requalify qmap a, requalify qmap b)
+  | And (a, b) -> And (requalify qmap a, requalify qmap b)
+  | Or (a, b) -> Or (requalify qmap a, requalify qmap b)
+  | Not a -> Not (requalify qmap a)
+
+let normalize_query rel_map (q : query) : query =
+  match q with
+  | Extract { cols; file; extractor } ->
+      Extract { cols; file = Slogical.Binder.normalize_path file; extractor }
+  | Union_all (a, b) -> Union_all (rename rel_map a, rename rel_map b)
+  | Select { distinct; items; from; joins; where; group_by; having } ->
+      let sources = from @ List.map (fun (s, _, _) -> s) joins in
+      (* Effective name (alias if given, else the relation name, i.e. the
+         binder's resolution rule) -> positional canonical alias. *)
+      let qmap = Hashtbl.create 8 in
+      List.iteri
+        (fun i { rel; src_alias } ->
+          Hashtbl.replace qmap (Option.value src_alias ~default:rel)
+            (canon_src i))
+        sources;
+      let re_source i { rel; src_alias = _ } =
+        { rel = rename rel_map rel; src_alias = Some (canon_src i) }
+      in
+      let n_from = List.length from in
+      let rq = requalify qmap in
+      Select
+        {
+          distinct;
+          items = List.map (fun it -> { it with item = rq it.item }) items;
+          from = List.mapi re_source from;
+          joins =
+            List.mapi
+              (fun j (s, on, outer) -> (re_source (n_from + j) s, rq on, outer))
+              joins;
+          where = Option.map rq where;
+          group_by = List.map rq group_by;
+          having = Option.map rq having;
+        }
+
+let script (s : script) : script =
+  let rel_map = Hashtbl.create 8 in
+  let next = ref 0 in
+  List.map
+    (fun st ->
+      match st with
+      | Assign (name, q) ->
+          (* normalize the rhs first: its sources refer to relations
+             assigned *before* this statement *)
+          let q' = normalize_query rel_map q in
+          let canon = canon_rel !next in
+          incr next;
+          Hashtbl.replace rel_map name canon;
+          Assign (canon, q')
+      | Output { rel; file; order } ->
+          Output
+            {
+              rel = rename rel_map rel;
+              file = Slogical.Binder.normalize_path file;
+              order;
+            })
+    s
+
+let parse text = script (Slang.Parser.parse_script text)
+
+let to_text = Slang.Ast.to_string
+
+let outputs_of s =
+  List.length
+    (List.filter (function Slang.Ast.Output _ -> true | _ -> false) s)
+
+(* Structural renaming of every relation name and output file in an
+   already-normalized script.  Safe only after [script]: qualifiers are
+   all [_q] aliases by then, so relation names appear exactly at binding
+   sites (assignment lhs, source rel, UNION ALL arguments, OUTPUT rel)
+   and never inside expressions. *)
+let map_names ~rel:f ~output_file:g (s : script) : script =
+  List.map
+    (fun st ->
+      match st with
+      | Assign (name, q) ->
+          let q' =
+            match q with
+            | Extract _ -> q
+            | Union_all (a, b) -> Union_all (f a, f b)
+            | Select sel ->
+                Select
+                  {
+                    sel with
+                    from =
+                      List.map
+                        (fun src -> { src with rel = f src.rel })
+                        sel.from;
+                    joins =
+                      List.map
+                        (fun (src, on, outer) ->
+                          ({ src with rel = f src.rel }, on, outer))
+                        sel.joins;
+                  }
+          in
+          Assign (f name, q')
+      | Output { rel; file; order } ->
+          Output { rel = f rel; file = g file; order })
+    s
+
+let session_prefix i = Printf.sprintf "_s%d" i
+
+let tag_output i file = Printf.sprintf "%s:%s" (session_prefix i) file
+
+let untag_output file =
+  match String.index_opt file ':' with
+  | Some i when i > 0 && file.[0] = '_' && file.[1] = 's' ->
+      String.sub file (i + 1) (String.length file - i - 1)
+  | _ -> file
+
+(* One script per session, already normalized; relation names are
+   prefixed per session so the scripts bind side by side in one DAG, and
+   output files are tagged so no two sessions' OUTPUT statements can be
+   structurally identical (identical outputs would merge into one memo
+   group and break positional output splitting).  Shared *inputs* still
+   merge: the fingerprint pass compares operator parameters, and the
+   session prefix never reaches expressions or physical column names. *)
+let combine (scripts : script list) : script =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         map_names
+           ~rel:(fun n -> session_prefix i ^ n)
+           ~output_file:(tag_output i) s)
+       scripts)

@@ -1,0 +1,42 @@
+(** Fingerprint-keyed plan cache for the serve loop.
+
+    Keys are {!Cse.Fingerprint.hash_string} over the normalized script
+    text with the catalog version folded in, so bumping the statistics
+    epoch makes every prior key unreachable — invalidation is free and
+    {!purge_stale} only reclaims memory.  Hits, misses and purges bump
+    the [serve.cache_hits] / [serve.cache_misses] /
+    [serve.cache_invalidations] counters. *)
+
+type entry = {
+  fingerprint : int;
+  normalized : string;  (** canonical text behind the key *)
+  outputs : int;  (** OUTPUT statements in the script *)
+  catalog_version : int;  (** statistics epoch the plan was built under *)
+  report : Cse.Pipeline.report;
+      (** the original optimization, plans included — a hit re-executes
+          [report.cse_plan] and skips parse/bind/optimize *)
+  mutable hits : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** The cache key for a normalized script under a catalog version. *)
+val key : catalog_version:int -> string -> int
+
+(** Lookup; a [None] counts as a miss.  A [Some] does {e not} count as a
+    hit yet — call {!note_hit} when the entry is actually reused, so
+    within-batch duplicates can be credited without a second lookup. *)
+val find : t -> int -> entry option
+
+(** Credit a reuse of [entry] (bumps the entry and the global hit
+    counter). *)
+val note_hit : entry -> unit
+
+val add : t -> entry -> unit
+val size : t -> int
+
+(** Drop entries optimized under a different statistics epoch; returns
+    the number removed (also counted as invalidations). *)
+val purge_stale : t -> current_version:int -> int

@@ -13,6 +13,11 @@
 let registry : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
 let registry_mu = Mutex.create ()
 
+(* Reset epoch: bumped by [reset_all] so baselines taken before a reset
+   are recognized as stale and diffed against zero instead of producing
+   negative deltas.  Guarded by [registry_mu]. *)
+let generation = ref 0
+
 let counter name =
   Mutex.protect registry_mu (fun () ->
       match Hashtbl.find_opt registry name with
@@ -30,20 +35,17 @@ let get name =
       | Some r -> Atomic.get r
       | None -> 0)
 
-let snapshot () =
-  Mutex.protect registry_mu (fun () ->
-      Hashtbl.fold (fun name r acc -> (name, Atomic.get r) :: acc) registry [])
+let snapshot_unlocked () =
+  Hashtbl.fold (fun name r acc -> (name, Atomic.get r) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-(* Counters whose value differs between [before] (a [snapshot] result)
-   and now, diffed by name over the union of both snapshots.  Diffing
-   only the current snapshot would hide a counter that was bumped and
-   then reset back to its baseline by a nested run -- taking the union
-   makes [since] report every name either side has seen, and keeping
-   negative deltas (possible after an intervening [reset_all]) makes
-   the report honest instead of silently dropping the regression. *)
-let since before =
-  let now = snapshot () in
+let snapshot () = Mutex.protect registry_mu snapshot_unlocked
+
+(* Union-diff of two value lists by name: every name either side has seen
+   is reported, with nonzero deltas only.  Diffing only the current
+   snapshot would hide a counter that was bumped and then reset back to
+   its baseline value by a nested run. *)
+let union_diff before now =
   let union =
     List.sort_uniq String.compare (List.map fst before @ List.map fst now)
   in
@@ -54,6 +56,26 @@ let since before =
       if v <> v0 then Some (name, v - v0) else None)
     union
 
+(* Reset-safe per-run scoping: a baseline records the reset epoch next to
+   the values, so [deltas] of a baseline taken before an intervening
+   [reset_all] diffs against zero (the counters restarted) instead of
+   reporting negative figures — the quirk the plain [since] had. *)
+type baseline = { gen : int; values : (string * int) list }
+
+let baseline () =
+  Mutex.protect registry_mu (fun () ->
+      { gen = !generation; values = snapshot_unlocked () })
+
+let deltas b =
+  let gen_now, now =
+    Mutex.protect registry_mu (fun () -> (!generation, snapshot_unlocked ()))
+  in
+  let before = if gen_now = b.gen then b.values else [] in
+  union_diff before now
+
+let since before = union_diff before (snapshot ())
+
 let reset_all () =
   Mutex.protect registry_mu (fun () ->
+      incr generation;
       Hashtbl.iter (fun _ r -> Atomic.set r 0) registry)

@@ -32,9 +32,26 @@ val snapshot : unit -> (string * int) list
     snapshots.  Counters registered after the snapshot count from zero;
     counters present in [before] but back at their old value (e.g.
     bumped and reset by a nested run) are absent — only nonzero deltas
-    are reported, and a delta can be negative if {!reset_all} ran in
-    between.  Sorted by name. *)
+    are reported.  A bare snapshot cannot see an intervening
+    {!reset_all}, so deltas across one can go negative — sequenced runs
+    in one process (the serve loop, back-to-back pipelines) should use
+    {!baseline}/{!deltas} instead, which are reset-safe.  Sorted by
+    name. *)
 val since : (string * int) list -> (string * int) list
 
-(** Zero every registered counter (tests). *)
+(** A per-run scope: the counter values {e and} the reset epoch at the
+    moment it was taken. *)
+type baseline
+
+val baseline : unit -> baseline
+
+(** Nonzero per-name deltas since the baseline, union-diffed like
+    {!since}.  If {!reset_all} ran after the baseline was taken, the
+    counters restarted from zero and the baseline values are treated as
+    zero — deltas never go negative, so back-to-back runs in one process
+    report clean figures. *)
+val deltas : baseline -> (string * int) list
+
+(** Zero every registered counter and start a new reset epoch (tests,
+    repeated bench runs). *)
 val reset_all : unit -> unit

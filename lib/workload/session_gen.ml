@@ -1,0 +1,161 @@
+open Relalg
+
+(* Session-stream generator for the serve loop: a seeded stream of
+   script submissions in the [Sserve.Session] protocol, built to
+   exercise every serve-mode path regardless of seed.
+
+   The stream opens with a fixed prelude that guarantees the serve
+   acceptance signals:
+
+   - an exact duplicate and a whitespace-only variant of the first
+     script (plan-cache hits through normalization),
+   - an alias-renamed pair of qualified scripts in one batch (the
+     second is a within-batch duplicate after normalization),
+   - a shared-scan pair batched together — same EXTRACT + filter,
+     different GROUP BY keys — whose combined memo merges the scan
+     chain across the two scripts (a cross-script spool);
+
+   then seeded filler: fresh variations over a small template space,
+   duplicates of earlier submissions, batch breaks, and one
+   [#catalog-bump] near the three-quarter mark to exercise
+   invalidation.
+
+   Every OUTPUT carries ORDER BY over the full (unique) group key, so
+   row order is total and outputs compare byte-identical across plan
+   shapes — the property the replay tests assert. *)
+
+let files = [| "serve_log0"; "serve_log1"; "serve_log2" |]
+
+(* An aggregation over a filtered scan, unqualified column references.
+   [keys] must be non-empty; the ORDER BY spans the whole group key so
+   output order is unique. *)
+let plain_script ~file ~keys ~cut ~out =
+  let ks = String.concat "," keys in
+  Printf.sprintf
+    "R = EXTRACT A,B,C,D FROM \"%s\" USING LogExtractor;\n\
+     F = SELECT A,B,C,D FROM R WHERE D > %d;\n\
+     S = SELECT %s, Sum(D) AS V FROM F GROUP BY %s;\n\
+     OUTPUT S TO \"%s\" ORDER BY %s;\n"
+    file cut ks ks out ks
+
+(* The same computation written with source aliases; normalization
+   canonicalizes the alias name, so any two instances that differ only
+   in [alias] (and relation names) share one cache entry.  Qualification
+   structure is part of the normal form — this does NOT normalize to
+   [plain_script]. *)
+let aliased_script ~alias ~rel ~file ~keys ~cut ~out =
+  let q k = alias ^ "." ^ k in
+  let ks = String.concat "," (List.map q keys) in
+  let oks = String.concat "," keys in
+  Printf.sprintf
+    "%s = EXTRACT A,B,C,D FROM \"%s\" USING LogExtractor;\n\
+     S = SELECT %s, Sum(%s) AS V FROM %s AS %s WHERE %s > %d GROUP BY %s;\n\
+     OUTPUT S TO \"%s\" ORDER BY %s;\n"
+    rel file ks (q "D") rel alias (q "D") cut ks out oks
+
+(* Indent and pad a script without changing its meaning. *)
+let respace s =
+  String.concat "\n"
+    (List.map
+       (fun line -> if String.trim line = "" then line else "  " ^ line ^ "  ")
+       (String.split_on_char '\n' s))
+
+let key_choices = [| [ "A" ]; [ "B" ]; [ "A"; "B" ]; [ "B"; "C" ]; [ "A"; "C" ] |]
+
+let generate ?(seed = 1) ?(scripts = 20) () : string =
+  let rng = Sutil.Rng.create seed in
+  let buf = Buffer.create 4096 in
+  let n = ref 0 in
+  let history = ref [] in
+  let script text =
+    incr n;
+    history := text :: !history;
+    Buffer.add_string buf (Printf.sprintf "#script s%d\n%s\n#end\n" !n text)
+  in
+  let batch () = Buffer.add_string buf "#batch\n" in
+  Buffer.add_string buf
+    (Printf.sprintf "## serve session stream (seed=%d, scripts=%d)\n" seed
+       scripts);
+  (* prelude: duplicate + whitespace variant -> cache hits *)
+  let s1 = plain_script ~file:files.(0) ~keys:[ "A" ] ~cut:5 ~out:"serve_dup" in
+  script s1;
+  script s1;
+  script (respace s1);
+  batch ();
+  (* alias-renamed pair in one batch -> within-batch duplicate *)
+  script
+    (aliased_script ~alias:"u" ~rel:"Raw" ~file:files.(1) ~keys:[ "B" ] ~cut:3
+       ~out:"serve_alias");
+  script
+    (aliased_script ~alias:"w" ~rel:"Zt" ~file:files.(1) ~keys:[ "B" ] ~cut:3
+       ~out:"serve_alias");
+  batch ();
+  (* shared-scan pair: same extract + filter, different group keys ->
+     two distinct misses whose combined memo shares the scan chain *)
+  script (plain_script ~file:files.(2) ~keys:[ "A" ] ~cut:7 ~out:"serve_xa");
+  script (plain_script ~file:files.(2) ~keys:[ "B" ] ~cut:7 ~out:"serve_xb");
+  batch ();
+  (* seeded filler *)
+  let bumped = ref false in
+  let in_batch = ref 0 in
+  while !n < scripts do
+    (if (not !bumped) && !n * 4 >= scripts * 3 then begin
+       bumped := true;
+       if !in_batch > 0 then batch ();
+       in_batch := 0;
+       Buffer.add_string buf "#catalog-bump\n"
+     end);
+    (match Sutil.Rng.int rng 10 with
+    | 0 | 1 | 2 when !history <> [] ->
+        (* resubmit an earlier script verbatim *)
+        script (Sutil.Rng.pick_list rng !history)
+    | 3 ->
+        (* a shared-scan partner pair inside one batch *)
+        let file = files.(Sutil.Rng.int rng (Array.length files)) in
+        let cut = Sutil.Rng.int rng 9 in
+        script (plain_script ~file ~keys:[ "A" ] ~cut ~out:"serve_pa");
+        script (plain_script ~file ~keys:[ "B"; "C" ] ~cut ~out:"serve_pb");
+        in_batch := !in_batch + 1
+    | 4 | 5 ->
+        script
+          (aliased_script ~alias:"q" ~rel:"In"
+             ~file:(files.(Sutil.Rng.int rng (Array.length files)))
+             ~keys:key_choices.(Sutil.Rng.int rng (Array.length key_choices))
+             ~cut:(Sutil.Rng.int rng 9)
+             ~out:"serve_fill")
+    | _ ->
+        script
+          (plain_script
+             ~file:(files.(Sutil.Rng.int rng (Array.length files)))
+             ~keys:key_choices.(Sutil.Rng.int rng (Array.length key_choices))
+             ~cut:(Sutil.Rng.int rng 9)
+             ~out:"serve_fill"));
+    incr in_batch;
+    if !in_batch >= 2 + Sutil.Rng.int rng 3 then begin
+      batch ();
+      in_batch := 0
+    end
+  done;
+  if !in_batch > 0 then batch ();
+  Buffer.add_string buf "#quit\n";
+  Buffer.contents buf
+
+let register catalog =
+  Array.iteri
+    (fun i path ->
+      Catalog.register catalog
+        (Catalog.mk_file ~path
+           ~rows:(8_000_000 * (i + 1))
+           ~row_bytes:100
+           [
+             ("A", Schema.Tint, 60);
+             ("B", Schema.Tint, 500);
+             ("C", Schema.Tint, 60);
+             ("D", Schema.Tint, 1_000_000);
+           ]))
+    files
+
+let catalog () =
+  let c = Catalog.create () in
+  register c;
+  c

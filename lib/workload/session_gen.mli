@@ -1,0 +1,23 @@
+(** Seeded session-stream generator for the serve loop.
+
+    Emits a [Sserve.Session]-protocol stream whose fixed prelude
+    guarantees, at any seed: at least two plan-cache hits (an exact
+    duplicate, a whitespace-only variant, and an alias-renamed
+    within-batch duplicate) and at least one batched shared-scan pair
+    whose combined memo shares the scan chain across two scripts.
+    Seeded filler adds fresh variations, resubmissions, batch breaks
+    and one [#catalog-bump] near the three-quarter mark.
+
+    Every OUTPUT orders by its full (unique) group key, so outputs are
+    byte-identical however the plan was obtained — the replay
+    determinism the serve tests assert. *)
+
+(** [generate ~seed ~scripts ()] returns the protocol text with
+    [scripts] submissions (minimum 7: the prelude). *)
+val generate : ?seed:int -> ?scripts:int -> unit -> string
+
+(** Register catalog statistics for the [serve_log*] input files. *)
+val register : Relalg.Catalog.t -> unit
+
+(** Fresh catalog with the [serve_log*] statistics registered. *)
+val catalog : unit -> Relalg.Catalog.t

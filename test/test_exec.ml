@@ -429,6 +429,54 @@ let test_parallel_large_scripts () =
     [ Sworkload.Large_gen.ls1 (); Sworkload.Large_gen.ls2 () ];
   Alcotest.(check bool) "recoveries exercised in parallel" true (!retries > 0)
 
+let test_parallel_cross_script () =
+  (* the serve batch path: two scripts sharing a scan chain are combined
+     into one memo, so the shared extract+filter executes once behind a
+     spool.  The combined plan obeys the same worker-count determinism
+     contract as any single-script plan, and each script's slice of the
+     combined outputs is byte-identical to running that script alone. *)
+  let mk key out =
+    Printf.sprintf
+      "R = EXTRACT A,B,C,D FROM \"serve_log2\" USING LogExtractor;\n\
+       F = SELECT A,B,C,D FROM R WHERE D > 7;\n\
+       S = SELECT %s, Sum(D) AS V FROM F GROUP BY %s;\n\
+       OUTPUT S TO \"%s\" ORDER BY %s;\n"
+      key key out key
+  in
+  let a = mk "A" "cross_out" and b = mk "B" "cross_out" in
+  let combined =
+    Sserve.Normalize.(
+      to_text (combine [ parse a; parse b ]))
+  in
+  let catalog = Sworkload.Session_gen.catalog () in
+  let r = Cse.Pipeline.run ~catalog combined in
+  let dag = r.Cse.Pipeline.dag and plan = r.Cse.Pipeline.cse_plan in
+  ignore (worker_matrix ~machines:7 catalog dag plan);
+  ignore
+    (worker_matrix
+       ~faults:(Sexec.Faults.spec ~rate:0.3 17)
+       ~machines:7 catalog dag plan);
+  let run_plan plan =
+    Sexec.Engine.run (Sexec.Engine.create ~workers:2 ~machines:7 catalog) plan
+  in
+  (* identically-named outputs stay separate under the session tag *)
+  let outs = run_plan plan in
+  Alcotest.(check (list string))
+    "tagged output per session"
+    [ "_s0:cross_out"; "_s1:cross_out" ]
+    (List.map fst outs);
+  List.iteri
+    (fun i script ->
+      let solo = Cse.Pipeline.run ~catalog script in
+      match (run_plan solo.Cse.Pipeline.cse_plan, List.nth outs i) with
+      | [ (_, alone) ], (_, shared) ->
+          Alcotest.(check string)
+            (Printf.sprintf "script %d slice identical to solo run" i)
+            (Relalg.Table.to_string alone)
+            (Relalg.Table.to_string shared)
+      | _ -> Alcotest.fail "expected exactly one solo output")
+    [ a; b ]
+
 let () =
   Alcotest.run "exec"
     [
@@ -480,5 +528,7 @@ let () =
             test_parallel_random_scripts;
           Alcotest.test_case "large scripts at workers 1/2/8" `Slow
             test_parallel_large_scripts;
+          Alcotest.test_case "combined cross-script plan" `Quick
+            test_parallel_cross_script;
         ] );
     ]

@@ -95,6 +95,46 @@ let test_drop_newest () =
   Alcotest.(check int) "new generation resets events" 0
     (List.length (T.collect ()))
 
+let test_epoch_scoping () =
+  (* each start () opens a fresh epoch: collect returns only the new
+     epoch's events, never residue from an earlier run in the same
+     process — the contract the serve loop's per-batch traces rely on *)
+  T.start ();
+  let e1 = T.epoch () in
+  T.instant ~pid:1 "first-run";
+  T.instant ~pid:1 "first-run";
+  T.stop ();
+  Alcotest.(check int) "first epoch events" 2 (List.length (T.collect ()));
+  T.start ();
+  let e2 = T.epoch () in
+  Alcotest.(check bool) "epoch advances" true (e2 > e1);
+  T.instant ~pid:1 "second-run";
+  T.stop ();
+  let evs = T.collect () in
+  Alcotest.(check int) "only this epoch's events" 1 (List.length evs);
+  Alcotest.(check bool) "no stale event names" true
+    (List.for_all (fun (e : T.event) -> e.T.name = "second-run") evs);
+  (* timestamps restart with the epoch *)
+  Alcotest.(check bool) "timestamps restart near zero" true
+    (List.for_all (fun (e : T.event) -> e.T.ts < 1_000_000.0) evs)
+
+let test_export_protected () =
+  let evs = [ mk T.Begin "a" 1.0; mk T.End "a" 2.0 ] in
+  let path = Filename.temp_file "scopecse-test-export" ".json" in
+  T.export ~path evs;
+  let parsed =
+    In_channel.with_open_text path In_channel.input_all |> T.parse_chrome
+  in
+  Sys.remove path;
+  Alcotest.(check int) "export round-trips" 2 (List.length parsed);
+  (* a path that cannot be opened raises and must not leave a file *)
+  let bad = Filename.concat (Filename.get_temp_dir_name ()) "no-such-dir" in
+  let bad_path = Filename.concat bad "trace.json" in
+  (match T.export ~path:bad_path evs with
+  | () -> Alcotest.fail "export to missing directory succeeded"
+  | exception Sys_error _ -> ());
+  Alcotest.(check bool) "no partial file left" false (Sys.file_exists bad_path)
+
 (* --- traced pipeline: well-formed and stable across worker counts -------- *)
 
 (* Run the full pipeline plus a staged execution under tracing and
@@ -217,6 +257,10 @@ let () =
           Alcotest.test_case "disabled path zero-alloc" `Quick
             test_disabled_zero_alloc;
           Alcotest.test_case "drop-newest at capacity" `Quick test_drop_newest;
+          Alcotest.test_case "epoch scoping across runs" `Quick
+            test_epoch_scoping;
+          Alcotest.test_case "export is failure-protected" `Quick
+            test_export_protected;
         ] );
       ( "pipeline",
         [

@@ -1,0 +1,359 @@
+(* Serve-mode tests: script normalization, the fingerprint-keyed plan
+   cache (hits on whitespace/alias-renamed variants, invalidation on
+   catalog bumps), cross-script sharing over combined memos with
+   byte-identical outputs, and the session protocol + stream generator.
+
+   Counters are process-global, so assertions read per-batch results
+   and cache entries, never the lifetime totals. *)
+
+module N = Sserve.Normalize
+module E = Sserve.Engine
+module PC = Sserve.Plan_cache
+module S = Sserve.Session
+open Relalg
+
+let plain =
+  "R = EXTRACT A,B,C,D FROM \"serve_log0\" USING LogExtractor;\n\
+   F = SELECT A,B,C,D FROM R WHERE D > 5;\n\
+   S = SELECT A, Sum(D) AS V FROM F GROUP BY A;\n\
+   OUTPUT S TO \"serve_out\" ORDER BY A;\n"
+
+let plain_spaced =
+  "  R =   EXTRACT A,B,C,D FROM \"serve_log0\" USING LogExtractor;\n\n\
+   F = SELECT A,B,C,D\n FROM R WHERE D > 5;\n\
+   S = SELECT A, Sum(D) AS V FROM F\n GROUP BY A;\n\
+   OUTPUT S TO \"serve_out\"\n ORDER BY A;\n"
+
+let plain_renamed =
+  "Zebra = EXTRACT A,B,C,D FROM \"serve_log0\" USING LogExtractor;\n\
+   Yak = SELECT A,B,C,D FROM Zebra WHERE D > 5;\n\
+   Wolf = SELECT A, Sum(D) AS V FROM Yak GROUP BY A;\n\
+   OUTPUT Wolf TO \"serve_out\" ORDER BY A;\n"
+
+(* --- normalization ------------------------------------------------------- *)
+
+let norm_text s = N.to_text (N.parse s)
+
+let test_normalize_whitespace () =
+  Alcotest.(check string) "whitespace variant normalizes equal"
+    (norm_text plain) (norm_text plain_spaced)
+
+let test_normalize_rel_names () =
+  Alcotest.(check string) "relation renaming normalizes equal"
+    (norm_text plain) (norm_text plain_renamed)
+
+let test_normalize_aliases () =
+  let a =
+    "Raw = EXTRACT A,B,C,D FROM \"serve_log1\" USING LogExtractor;\n\
+     S = SELECT u.B, Sum(u.D) AS V FROM Raw AS u WHERE u.D > 3 GROUP BY u.B;\n\
+     OUTPUT S TO \"serve_alias\" ORDER BY B;\n"
+  in
+  let b =
+    "Zt = EXTRACT A,B,C,D FROM \"serve_log1\" USING LogExtractor;\n\
+     S = SELECT w.B, Sum(w.D) AS V FROM Zt AS w WHERE w.D > 3 GROUP BY w.B;\n\
+     OUTPUT S TO \"serve_alias\" ORDER BY B;\n"
+  in
+  Alcotest.(check string) "alias renaming normalizes equal" (norm_text a)
+    (norm_text b)
+
+let test_normalize_distinguishes () =
+  let other =
+    "R = EXTRACT A,B,C,D FROM \"serve_log0\" USING LogExtractor;\n\
+     F = SELECT A,B,C,D FROM R WHERE D > 6;\n\
+     S = SELECT A, Sum(D) AS V FROM F GROUP BY A;\n\
+     OUTPUT S TO \"serve_out\" ORDER BY A;\n"
+  in
+  Alcotest.(check bool) "different cut stays different" false
+    (String.equal (norm_text plain) (norm_text other))
+
+let test_normalize_idempotent () =
+  let once = norm_text plain_renamed in
+  Alcotest.(check string) "normalizing normalized text is the identity" once
+    (norm_text once)
+
+let test_normalized_text_binds () =
+  (* the canonical text must still parse and bind *)
+  let catalog = Sworkload.Session_gen.catalog () in
+  let dag =
+    Slogical.Binder.bind ~catalog (Slang.Parser.parse_script (norm_text plain))
+  in
+  Alcotest.(check bool) "bound dag nonempty" true (Slogical.Dag.size dag > 0)
+
+let test_hash_string () =
+  let h = Cse.Fingerprint.hash_string in
+  Alcotest.(check bool) "in range" true
+    (h plain >= 0 && h plain < Cse.Fingerprint.modulus);
+  Alcotest.(check int) "deterministic" (h plain) (h plain);
+  Alcotest.(check bool) "sensitive to content" true (h plain <> h plain_spaced)
+
+let test_combine_tags_outputs () =
+  let s = N.parse plain in
+  let combined = N.combine [ s; s ] in
+  let outs =
+    List.filter_map
+      (function Slang.Ast.Output { file; _ } -> Some file | _ -> None)
+      combined
+  in
+  Alcotest.(check (list string)) "tagged per session"
+    [ "_s0:serve_out"; "_s1:serve_out" ]
+    outs;
+  Alcotest.(check string) "untag strips" "serve_out"
+    (N.untag_output "_s0:serve_out");
+  Alcotest.(check string) "untag passes plain names" "serve_out"
+    (N.untag_output "serve_out");
+  (* combined script must still be one well-formed parseable script *)
+  let text = N.to_text combined in
+  Alcotest.(check int) "reparses with all statements"
+    (List.length combined)
+    (List.length (Slang.Parser.parse_script text))
+
+(* --- plan cache through the serve engine --------------------------------- *)
+
+let fresh_engine ?workers () =
+  let catalog = Sworkload.Session_gen.catalog () in
+  E.create ?workers catalog
+
+let flush_exn e =
+  match E.flush e with
+  | Some b -> b
+  | None -> Alcotest.fail "flush returned no batch"
+
+let table_bytes outputs =
+  String.concat "\x00"
+    (List.map (fun (f, t) -> f ^ "=" ^ Table.to_string t) outputs)
+
+let run_result b =
+  match b.E.results with [ r ] -> r | _ -> Alcotest.fail "expected 1 result"
+
+let assert_done ?(hit = false) r =
+  match r.E.status with
+  | E.Done { cache_hit; _ } ->
+      Alcotest.(check bool) "cache_hit flag" hit cache_hit
+  | E.Failed m -> Alcotest.failf "session %s failed: %s" r.E.id m
+
+let test_cache_hit_identical_outputs () =
+  let e = fresh_engine () in
+  E.submit e ~id:"cold" ~text:plain;
+  let cold = run_result (flush_exn e) in
+  assert_done ~hit:false cold;
+  E.submit e ~id:"dup" ~text:plain;
+  E.submit e ~id:"spaced" ~text:plain_spaced;
+  E.submit e ~id:"renamed" ~text:plain_renamed;
+  let warm = flush_exn e in
+  List.iter
+    (fun r ->
+      assert_done ~hit:true r;
+      Alcotest.(check string)
+        (r.E.id ^ " byte-identical to cold run")
+        (table_bytes cold.E.outputs) (table_bytes r.E.outputs))
+    warm.E.results;
+  (* all four sessions share one cache entry *)
+  Alcotest.(check int) "one entry" 1 (PC.size (E.cache e));
+  Alcotest.(check (option int)) "same fingerprint" cold.E.fingerprint
+    (List.hd warm.E.results).E.fingerprint
+
+let test_catalog_bump_invalidates () =
+  let e = fresh_engine () in
+  E.submit e ~id:"a" ~text:plain;
+  let r1 = run_result (flush_exn e) in
+  assert_done ~hit:false r1;
+  let purged = E.catalog_bump e in
+  Alcotest.(check int) "entry purged" 1 purged;
+  Alcotest.(check int) "cache empty" 0 (PC.size (E.cache e));
+  E.submit e ~id:"b" ~text:plain;
+  let r2 = run_result (flush_exn e) in
+  (* same text, new statistics epoch: a miss, re-optimized *)
+  assert_done ~hit:false r2;
+  Alcotest.(check bool) "fingerprint changed with the epoch" true
+    (r1.E.fingerprint <> r2.E.fingerprint)
+
+let shared_pair =
+  ( "R = EXTRACT A,B,C,D FROM \"serve_log2\" USING LogExtractor;\n\
+     F = SELECT A,B,C,D FROM R WHERE D > 7;\n\
+     S = SELECT A, Sum(D) AS V FROM F GROUP BY A;\n\
+     OUTPUT S TO \"serve_xa\" ORDER BY A;\n",
+    "R = EXTRACT A,B,C,D FROM \"serve_log2\" USING LogExtractor;\n\
+     F = SELECT A,B,C,D FROM R WHERE D > 7;\n\
+     S = SELECT B, Sum(D) AS V FROM F GROUP BY B;\n\
+     OUTPUT S TO \"serve_xb\" ORDER BY B;\n" )
+
+let test_cross_script_sharing () =
+  let a, b = shared_pair in
+  let e = fresh_engine () in
+  E.submit e ~id:"xa" ~text:a;
+  E.submit e ~id:"xb" ~text:b;
+  let batch = flush_exn e in
+  Alcotest.(check bool) "combined run happened" true batch.E.combined;
+  Alcotest.(check bool) "cross-script spool detected" true
+    (batch.E.cross_script_shares >= 1);
+  (* the combined plan must beat (or match) the two solo plans *)
+  (match (batch.E.combined_cost, batch.E.solo_cost_sum) with
+  | Some c, Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "combined cost %.3g <= solo sum %.3g" c s)
+        true (c <= s +. 1e-6)
+  | _ -> Alcotest.fail "combined batch carries both cost figures");
+  (* outputs byte-identical to running each script alone *)
+  let solo text =
+    let solo_engine = fresh_engine () in
+    E.submit solo_engine ~id:"solo" ~text;
+    (run_result (flush_exn solo_engine)).E.outputs
+  in
+  List.iter2
+    (fun (r : E.session_result) reference ->
+      (match r.E.status with
+      | E.Done { combined; _ } ->
+          Alcotest.(check bool) (r.E.id ^ " served from combined run") true
+            combined
+      | E.Failed m -> Alcotest.failf "%s failed: %s" r.E.id m);
+      Alcotest.(check string)
+        (r.E.id ^ " byte-identical to solo run")
+        (table_bytes reference) (table_bytes r.E.outputs))
+    batch.E.results
+    [ solo a; solo b ]
+
+let test_within_batch_duplicate () =
+  let e = fresh_engine () in
+  E.submit e ~id:"first" ~text:plain;
+  E.submit e ~id:"second" ~text:plain_renamed;
+  let batch = flush_exn e in
+  (* one miss, one within-batch duplicate: no combined run of one *)
+  Alcotest.(check bool) "no combined run" false batch.E.combined;
+  (match batch.E.results with
+  | [ a; b ] ->
+      assert_done ~hit:false a;
+      assert_done ~hit:true b;
+      Alcotest.(check string) "identical outputs" (table_bytes a.E.outputs)
+        (table_bytes b.E.outputs)
+  | _ -> Alcotest.fail "expected two results");
+  Alcotest.(check int) "one cache entry" 1 (PC.size (E.cache e))
+
+let test_failed_session_contained () =
+  let e = fresh_engine () in
+  E.submit e ~id:"bad" ~text:"THIS IS NOT A SCRIPT";
+  E.submit e ~id:"good" ~text:plain;
+  let batch = flush_exn e in
+  match batch.E.results with
+  | [ bad; good ] ->
+      (match bad.E.status with
+      | E.Failed _ -> ()
+      | E.Done _ -> Alcotest.fail "malformed script must fail");
+      assert_done ~hit:false good;
+      Alcotest.(check bool) "good session produced rows" true (good.E.rows > 0)
+  | _ -> Alcotest.fail "expected two results"
+
+(* --- session protocol ---------------------------------------------------- *)
+
+let test_protocol_parse () =
+  let items =
+    S.items_of_string
+      "## comment\n\
+       #script s1\n\
+       A = EXTRACT A FROM \"f\" USING X;\n\
+       #end\n\n\
+       #batch\n\
+       #catalog-bump\n\
+       #quit\n"
+  in
+  match items with
+  | [ S.Script { id; text }; S.Flush; S.Catalog_bump; S.Quit ] ->
+      Alcotest.(check string) "id" "s1" id;
+      Alcotest.(check string) "text" "A = EXTRACT A FROM \"f\" USING X;\n" text
+  | _ -> Alcotest.failf "unexpected items (%d)" (List.length items)
+
+let test_protocol_errors () =
+  let raises s =
+    match S.items_of_string s with
+    | exception S.Protocol_error _ -> ()
+    | _ -> Alcotest.failf "accepted malformed stream %S" s
+  in
+  raises "#script s1\nno end";
+  raises "#script\nx\n#end\n";
+  raises "#bogus\n";
+  raises "stray text\n"
+
+let test_generator_stream () =
+  let stream = Sworkload.Session_gen.generate ~seed:3 ~scripts:8 () in
+  let items = S.items_of_string stream in
+  let scripts =
+    List.filter_map
+      (function S.Script { text; _ } -> Some text | _ -> None)
+      items
+  in
+  Alcotest.(check int) "requested scripts" 8 (List.length scripts);
+  (* every generated script parses *)
+  List.iter (fun t -> ignore (Slang.Parser.parse_script t)) scripts;
+  Alcotest.(check bool) "has batch breaks" true
+    (List.exists (function S.Flush -> true | _ -> false) items)
+
+let test_generator_replay () =
+  (* run a small generated stream end to end: the prelude guarantees
+     cache hits and at least one cross-script share at any seed *)
+  let catalog = Sworkload.Session_gen.catalog () in
+  let e = E.create catalog in
+  let hits = ref 0 and cross = ref 0 and failed = ref 0 in
+  let flush () =
+    match E.flush e with
+    | None -> ()
+    | Some b ->
+        cross := !cross + b.E.cross_script_shares;
+        List.iter
+          (fun (r : E.session_result) ->
+            match r.E.status with
+            | E.Done { cache_hit = true; _ } -> incr hits
+            | E.Done _ -> ()
+            | E.Failed _ -> incr failed)
+          b.E.results
+  in
+  List.iter
+    (function
+      | S.Script { id; text } -> E.submit e ~id ~text
+      | S.Flush -> flush ()
+      | S.Catalog_bump -> ignore (E.catalog_bump e)
+      | S.Quit -> ())
+    (S.items_of_string (Sworkload.Session_gen.generate ~seed:11 ~scripts:7 ()));
+  flush ();
+  Alcotest.(check int) "no failed sessions" 0 !failed;
+  Alcotest.(check bool) "cache hits happened" true (!hits >= 2);
+  Alcotest.(check bool) "cross-script sharing happened" true (!cross >= 1)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "normalize",
+        [
+          Alcotest.test_case "whitespace" `Quick test_normalize_whitespace;
+          Alcotest.test_case "relation names" `Quick test_normalize_rel_names;
+          Alcotest.test_case "aliases" `Quick test_normalize_aliases;
+          Alcotest.test_case "distinguishes" `Quick
+            test_normalize_distinguishes;
+          Alcotest.test_case "idempotent" `Quick test_normalize_idempotent;
+          Alcotest.test_case "binds" `Quick test_normalized_text_binds;
+          Alcotest.test_case "hash_string" `Quick test_hash_string;
+          Alcotest.test_case "combine tags outputs" `Quick
+            test_combine_tags_outputs;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "hit is byte-identical" `Quick
+            test_cache_hit_identical_outputs;
+          Alcotest.test_case "catalog bump invalidates" `Quick
+            test_catalog_bump_invalidates;
+          Alcotest.test_case "within-batch duplicate" `Quick
+            test_within_batch_duplicate;
+          Alcotest.test_case "failed session contained" `Quick
+            test_failed_session_contained;
+        ] );
+      ( "cross-script",
+        [
+          Alcotest.test_case "sharing and byte-identity" `Quick
+            test_cross_script_sharing;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "errors" `Quick test_protocol_errors;
+          Alcotest.test_case "generator stream" `Quick test_generator_stream;
+          Alcotest.test_case "generator replay" `Quick test_generator_replay;
+        ] );
+    ]

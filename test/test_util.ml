@@ -128,6 +128,30 @@ let test_counters_since_union () =
   Alcotest.(check (option int)) "reset shows as negative delta" (Some (-3))
     (List.assoc_opt "test.since_union" (Sutil.Counters.since before))
 
+let test_counters_baseline_reset_safe () =
+  (* [baseline]/[deltas] are the reset-safe variant of
+     [snapshot]/[since]: a [reset_all] between the two restarts every
+     counter from zero and the baseline is ignored for them, so deltas
+     never go negative across sequenced runs in one process *)
+  let c = Sutil.Counters.counter "test.baseline_reset" in
+  Sutil.Counters.bump c 5;
+  let b = Sutil.Counters.baseline () in
+  Sutil.Counters.bump c 2;
+  Alcotest.(check (option int)) "plain delta" (Some 2)
+    (List.assoc_opt "test.baseline_reset" (Sutil.Counters.deltas b));
+  let b = Sutil.Counters.baseline () in
+  Sutil.Counters.reset_all ();
+  (* counter restarted from zero: baseline value (7) must not be
+     subtracted — [since] would report -7 here *)
+  Alcotest.(check (option int)) "reset alone yields no delta" None
+    (List.assoc_opt "test.baseline_reset" (Sutil.Counters.deltas b));
+  Sutil.Counters.bump c 3;
+  let d = Sutil.Counters.deltas b in
+  Alcotest.(check (option int)) "post-reset bumps count from zero" (Some 3)
+    (List.assoc_opt "test.baseline_reset" d);
+  Alcotest.(check bool) "no negative delta anywhere" true
+    (List.for_all (fun (_, v) -> v > 0) d)
+
 let test_pool_parallel_for () =
   Sutil.Pool.with_pool ~workers:4 (fun pool ->
       let n = 1000 in
@@ -196,6 +220,8 @@ let () =
             test_counters_atomic_hammer;
           Alcotest.test_case "since diffs over union" `Quick
             test_counters_since_union;
+          Alcotest.test_case "baseline survives reset_all" `Quick
+            test_counters_baseline_reset_safe;
         ] );
       ( "pool",
         [
