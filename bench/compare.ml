@@ -23,12 +23,28 @@
      reduction the pruning layers claim (wall clocks are only compared
      within one machine, never against the committed baseline).
 
+   - [--exec-perf FACTOR] gates the vectorized executor (ISSUE 9): per
+     workload, the fresh run's measured [exec_wall_w1_s] must be at most
+     baseline / FACTOR, and its [exec_wall_wN_s] must not exceed its own
+     [exec_wall_w1_s] by more than 25% (the hardware-parallelism cap
+     promises the parallel configuration never regresses the sequential
+     one).  The wN check is skipped when [exec_wall_w1_s] is under 20ms:
+     below that, scheduler jitter alone exceeds the 25% margin and the
+     assertion would flake.  FACTOR > 1 demands a speedup over the
+     baseline (used once,
+     to prove the >= 2x vectorization win against the pre-vectorization
+     BENCH_opt.json); FACTOR < 1 is a regression allowance (CI runs
+     [--exec-perf 0.6], i.e. at most ~1.7x the committed wall, which
+     absorbs shared-runner noise).  Wall-clock gates stay restricted to
+     the large workloads ([--only LS1,LS2]) where the signal is outside
+     the noise floor.
+
    The parser matches the writer in main.ml: flat records of numbers
    keyed by "name", scanned with string search — no JSON dependency,
    same as the writer.
 
-   Usage: compare [--equivalence | --perf FACTOR [--only W1,W2]]
-                  BASELINE.json FRESH.json *)
+   Usage: compare [--equivalence | --perf FACTOR | --exec-perf FACTOR]
+                  [--only W1,W2] BASELINE.json FRESH.json *)
 
 let read_file path =
   let ic = open_in path in
@@ -113,12 +129,12 @@ let drift_fields =
    build must agree on bit-for-bit. *)
 let equivalence_fields = [ "conv_cost"; "cse_cost" ]
 
-type mode = Drift | Equivalence | Perf of float
+type mode = Drift | Equivalence | Perf of float | ExecPerf of float
 
 let usage () =
   prerr_endline
-    "usage: compare [--equivalence | --perf FACTOR [--only W1,W2]] \
-     BASELINE.json FRESH.json";
+    "usage: compare [--equivalence | --perf FACTOR | --exec-perf FACTOR] \
+     [--only W1,W2] BASELINE.json FRESH.json";
   exit 2
 
 let () =
@@ -130,6 +146,10 @@ let () =
     | "--perf" :: f :: tl -> (
         match float_of_string_opt f with
         | Some f when f > 0.0 -> mode := Perf f; parse tl
+        | _ -> usage ())
+    | "--exec-perf" :: f :: tl -> (
+        match float_of_string_opt f with
+        | Some f when f > 0.0 -> mode := ExecPerf f; parse tl
         | _ -> usage ())
     | "--only" :: names :: tl ->
         only := Some (String.split_on_char ',' names);
@@ -155,6 +175,9 @@ let () =
     match !mode with
     | Drift -> drift_fields
     | Perf _ | Equivalence -> equivalence_fields
+    (* exec-perf compares wall clocks across builds of possibly different
+       optimizer behaviour: gate only the executor figures *)
+    | ExecPerf _ -> []
   in
   List.iter
     (fun (name, fresh_chunk) ->
@@ -203,6 +226,44 @@ let () =
                     "%-5s cse_time_s %.4f exceeds baseline %.4f (+10%%)\n"
                     name v b
               | _ -> ())
+          | ExecPerf factor ->
+              (* the committed sequential wall must improve >= FACTOR *)
+              (match (field base_chunk "exec_wall_w1_s",
+                      field fresh_chunk "exec_wall_w1_s") with
+              | Some b, Some v when v *. factor > b ->
+                  incr drift;
+                  Printf.printf
+                    "%-5s exec_wall_w1_s %.6f not %.2gx under baseline %.6f\n"
+                    name v factor b
+              | Some b, Some v ->
+                  Printf.printf "%-5s exec_wall_w1_s %.6f <= %.6f / %.2g\n"
+                    name v b factor
+              | _ ->
+                  incr drift;
+                  Printf.printf "%-5s exec_wall_w1_s missing\n" name);
+              (* same-run comparison: the parallel configuration must not
+                 regress the sequential one beyond scheduler noise; on
+                 walls under 20ms the jitter alone exceeds the margin,
+                 so the check only applies where the signal is real *)
+              (match (field fresh_chunk "exec_wall_w1_s",
+                      field fresh_chunk "exec_wall_wN_s") with
+              | Some w1, Some wn when w1 < 0.02 ->
+                  Printf.printf
+                    "%-5s exec_wall_w1_s %.6f under noise floor, wN check \
+                     skipped (wN %.6f)\n"
+                    name w1 wn
+              | Some w1, Some wn when wn > w1 *. 1.25 ->
+                  incr drift;
+                  Printf.printf
+                    "%-5s exec_wall_wN_s %.6f exceeds exec_wall_w1_s %.6f \
+                     (+25%%)\n"
+                    name wn w1
+              | Some w1, Some wn ->
+                  Printf.printf "%-5s exec_wall_wN_s %.6f <= %.6f +25%%\n"
+                    name wn w1
+              | _ ->
+                  incr drift;
+                  Printf.printf "%-5s exec_wall_wN_s missing\n" name)
           | Drift | Equivalence -> ()))
     fresh;
   if !compared = 0 then begin
@@ -214,7 +275,8 @@ let () =
       (match !mode with
       | Drift -> "drift"
       | Equivalence -> "equivalence"
-      | Perf f -> Printf.sprintf "perf %.2gx" f)
+      | Perf f -> Printf.sprintf "perf %.2gx" f
+      | ExecPerf f -> Printf.sprintf "exec-perf %.2gx" f)
       !compared
       (List.length checked_fields)
   else begin

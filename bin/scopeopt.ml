@@ -151,6 +151,17 @@ let workers_arg =
            Outputs and fault/retry counters are identical for every value; \
            only wall time changes.")
 
+let batch_size_arg =
+  Arg.(
+    value
+    & opt int Sexec.Engine.default_batch_size
+    & info [ "batch-size" ] ~docv:"N"
+        ~doc:
+          "Columnar batch granularity of the executor: stage outputs are \
+           chunked into batches of at most $(docv) rows.  Outputs and \
+           fault/retry counters are identical for every value; only wall \
+           time and the batch counters change.")
+
 let trace_arg =
   Arg.(
     value
@@ -251,6 +262,7 @@ let exec_counters (c : Sexec.Engine.counters) =
   [
     ("exec.stages_run", c.Sexec.Engine.stages_run);
     ("exec.vertices_run", c.Sexec.Engine.vertices_run);
+    ("exec.batches", c.Sexec.Engine.batches);
     ("exec.retries", c.Sexec.Engine.retries);
     ("exec.recomputed_rows", c.Sexec.Engine.recomputed_rows);
     ("exec.partitions_lost", c.Sexec.Engine.partitions_lost);
@@ -260,6 +272,8 @@ let exec_counters (c : Sexec.Engine.counters) =
 let exec_summary workers (v : Sexec.Validate.outcome) =
   {
     Cse.Pipeline.workers;
+    batch_size = v.Sexec.Validate.batch_size;
+    batches = v.Sexec.Validate.counters.Sexec.Engine.batches;
     wall_s = v.Sexec.Validate.wall;
     busy_s = v.Sexec.Validate.busy;
   }
@@ -292,7 +306,7 @@ let finish_trace ?(ppf = Fmt.stdout) ~attempts path =
 
 let optimize run_exec =
   let f machines budget no_ext no_prune verbose audit dot inject rate workers
-      trace script =
+      batch_size trace script =
     setup_logs verbose;
     if trace <> None then Sobs.Trace.start ();
     let attempts_acc = ref [] in
@@ -329,8 +343,8 @@ let optimize run_exec =
       if not run_exec then Ok ()
       else begin
         let v =
-          Sexec.Validate.check ~verify_props:true ~workers ~machines catalog
-            r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+          Sexec.Validate.check ~verify_props:true ~workers ~batch_size
+            ~machines catalog r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
         in
         attempts_acc := !attempts_acc @ [ v.Sexec.Validate.attempts ];
         r.Cse.Pipeline.exec <- Some (exec_summary workers v);
@@ -358,7 +372,7 @@ let optimize run_exec =
               | faults ->
                   let vf =
                     Sexec.Validate.check ~verify_props:true ~faults ~workers
-                      ~machines catalog r.Cse.Pipeline.dag
+                      ~batch_size ~machines catalog r.Cse.Pipeline.dag
                       r.Cse.Pipeline.cse_plan
                   in
                   attempts_acc := !attempts_acc @ [ vf.Sexec.Validate.attempts ];
@@ -407,12 +421,12 @@ let optimize run_exec =
   in
   Term.(
     term_result
-      (const (fun m b e np v a d i p w t file builtin ->
+      (const (fun m b e np v a d i p w bs t file builtin ->
            Result.bind (read_script file builtin)
-             (guard (f m b e np v a d i p w t)))
+             (guard (f m b e np v a d i p w bs t)))
       $ machines_arg $ budget_arg $ no_ext_arg $ no_prune_arg $ verbose_arg
-      $ audit_arg $ dot_arg $ inject_arg $ rate_arg $ workers_arg $ trace_arg
-      $ file_arg $ builtin_arg))
+      $ audit_arg $ dot_arg $ inject_arg $ rate_arg $ workers_arg
+      $ batch_size_arg $ trace_arg $ file_arg $ builtin_arg))
 
 let optimize_cmd =
   Cmd.v
@@ -457,7 +471,7 @@ let serve_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit one run report as JSON (schema scopecse-run-report/3, \
+            "Emit one run report as JSON (schema scopecse-run-report/4, \
              with the serve section) on stdout; the per-batch narration \
              moves to stderr.")
   in
@@ -472,8 +486,8 @@ let serve_cmd =
              and cross-checked against that batch's stage attempts \
              (SA045).")
   in
-  let f machines workers no_ext no_prune verbose audit json trace budget gen
-      seed file =
+  let f machines workers batch_size no_ext no_prune verbose audit json trace
+      budget gen seed file =
     setup_logs verbose;
     let out = if json then Fmt.epr else Fmt.pr in
     let catalog = Relalg.Catalog.default () in
@@ -482,7 +496,7 @@ let serve_cmd =
     let config = base_config ~no_ext ~no_prune in
     let engine =
       Sserve.Engine.create ~config ?max_seconds:budget ~cluster ~workers
-        catalog
+        ~batch_size catalog
     in
     let next =
       match (gen, file) with
@@ -673,7 +687,7 @@ let serve_cmd =
                    (Sobs.Json.Obj
                       [
                         ( "schema",
-                          Sobs.Json.Str "scopecse-run-report/3" );
+                          Sobs.Json.Str "scopecse-run-report/4" );
                         ("machines", int machines);
                         ( "serve",
                           Sobs.Json.Obj
@@ -716,9 +730,9 @@ let serve_cmd =
           across scripts share scans and spools in a single executor run")
     Term.(
       term_result
-        (const f $ machines_arg $ workers_arg $ no_ext_arg $ no_prune_arg
-       $ verbose_arg $ audit_arg $ json_arg $ trace_prefix_arg $ budget_arg
-       $ gen_arg $ seed_arg $ file_arg))
+        (const f $ machines_arg $ workers_arg $ batch_size_arg $ no_ext_arg
+       $ no_prune_arg $ verbose_arg $ audit_arg $ json_arg $ trace_prefix_arg
+       $ budget_arg $ gen_arg $ seed_arg $ file_arg))
 
 (* --- report ------------------------------------------------------------ *)
 
@@ -739,7 +753,7 @@ let json_of_hist (s : Sobs.Hist.summary) =
              s.Sobs.Hist.buckets) );
     ]
 
-(* The machine-readable run report.  Schema "scopecse-run-report/3":
+(* The machine-readable run report.  Schema "scopecse-run-report/4":
    optimization costs and task counts from the pipeline report — since /2
    including the round-pruning tallies (rounds_pruned,
    rounds_aborted_bound, phase2_winner_reuse_hits) — the execution
@@ -747,8 +761,10 @@ let json_of_hist (s : Sobs.Hist.summary) =
    wave depths), full counter deltas and histogram summaries.  /3 adds
    the optional "serve" section emitted by the serve subcommand (plan
    cache and cross-script sharing figures); single-script reports omit
-   it.  Documented in README.md; new fields may be added, existing ones
-   keep their meaning. *)
+   it.  /4 adds the vectorized executor's batch figures to "execution"
+   (batch_size, batches; the rows-per-batch histogram rides along in
+   "histograms" as exec.batch_rows).  Documented in README.md; new
+   fields may be added, existing ones keep their meaning. *)
 let json_report ~machines ~workers (r : Cse.Pipeline.report)
     (v : Sexec.Validate.outcome) ~counters =
   let num f = Sobs.Json.Num f in
@@ -769,7 +785,7 @@ let json_report ~machines ~workers (r : Cse.Pipeline.report)
   let exec_sum = exec_summary workers v in
   Sobs.Json.Obj
     [
-      ("schema", Sobs.Json.Str "scopecse-run-report/3");
+      ("schema", Sobs.Json.Str "scopecse-run-report/4");
       ("machines", int machines);
       ( "optimization",
         Sobs.Json.Obj
@@ -804,6 +820,9 @@ let json_report ~machines ~workers (r : Cse.Pipeline.report)
           [
             ("ok", Sobs.Json.Bool v.Sexec.Validate.ok);
             ("workers", int workers);
+            ("batch_size", int v.Sexec.Validate.batch_size);
+            ( "batches",
+              int v.Sexec.Validate.counters.Sexec.Engine.batches );
             ("wall_s", num v.Sexec.Validate.wall);
             ( "busy_s",
               Sobs.Json.Arr
@@ -827,10 +846,11 @@ let report_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit the run report as JSON (schema scopecse-run-report/3) \
+            "Emit the run report as JSON (schema scopecse-run-report/4) \
              instead of the human-readable summary.")
   in
-  let f machines budget no_ext no_prune verbose workers trace json script =
+  let f machines budget no_ext no_prune verbose workers batch_size trace json
+      script =
     setup_logs verbose;
     if trace <> None then Sobs.Trace.start ();
     let counters_before = Sutil.Counters.baseline () in
@@ -842,8 +862,8 @@ let report_cmd =
     in
     let r = Cse.Pipeline.run ~config ?budget ~cluster ~catalog script in
     let v =
-      Sexec.Validate.check ~verify_props:true ~workers ~machines catalog
-        r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
+      Sexec.Validate.check ~verify_props:true ~workers ~batch_size ~machines
+        catalog r.Cse.Pipeline.dag r.Cse.Pipeline.cse_plan
     in
     r.Cse.Pipeline.exec <- Some (exec_summary workers v);
     let counters = Sutil.Counters.deltas counters_before in
@@ -874,11 +894,12 @@ let report_cmd =
           form)")
     Term.(
       term_result
-        (const (fun m b e np v w t j file builtin ->
+        (const (fun m b e np v w bs t j file builtin ->
              Result.bind (read_script file builtin)
-               (guard (f m b e np v w t j)))
+               (guard (f m b e np v w bs t j)))
         $ machines_arg $ budget_arg $ no_ext_arg $ no_prune_arg $ verbose_arg
-        $ workers_arg $ trace_arg $ json_arg $ file_arg $ builtin_arg))
+        $ workers_arg $ batch_size_arg $ trace_arg $ json_arg $ file_arg
+        $ builtin_arg))
 
 (* --- check-trace -------------------------------------------------------- *)
 

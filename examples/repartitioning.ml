@@ -45,15 +45,13 @@ let repartition ~machines cols =
   let catalog = Catalog.create () in
   let engine = Sexec.Engine.create ~machines catalog in
   let d =
-    {
-      Sexec.Engine.schema;
-      parts =
-        (let parts = Array.make machines [] in
-         List.iteri (fun i row -> parts.(i mod machines) <- parts.(i mod machines) @ [ row ]) rows;
-         parts);
-    }
+    Sexec.Engine.dist_of_parts schema
+      (let parts = Array.make machines [] in
+       List.iteri (fun i row -> parts.(i mod machines) <- parts.(i mod machines) @ [ row ]) rows;
+       parts)
   in
-  (Sexec.Engine.exchange engine d (Colset.of_list cols)).Sexec.Engine.parts
+  let d' = Sexec.Engine.exchange engine d (Colset.of_list cols) in
+  Array.init machines (Sexec.Engine.part_rows d')
 
 let co_located parts key_cols =
   (* every group of rows agreeing on [key_cols] lives on one machine *)

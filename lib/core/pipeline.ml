@@ -14,6 +14,8 @@ open Sphys
    run plans hand the figures over and share one output format. *)
 type exec_summary = {
   workers : int;  (* executor domain-pool width *)
+  batch_size : int;  (* executor batch granularity (max rows per batch) *)
+  batches : int;  (* batches across the run's committed stage outputs *)
   wall_s : float;  (* execution wall-clock seconds *)
   busy_s : float array;  (* per-worker seconds spent executing *)
 }
@@ -78,7 +80,10 @@ let pp_counters ppf (counters : (string * int) list) =
 
 let pp_exec ppf (e : exec_summary) =
   let util = 100.0 *. utilization e in
-  Fmt.pf ppf "exec: workers=%d wall=%.2fms busy=[%s] util=%.0f%%@." e.workers
+  Fmt.pf ppf
+    "exec: workers=%d batch_size=%d batches=%d wall=%.2fms busy=[%s] \
+     util=%.0f%%@."
+    e.workers e.batch_size e.batches
     (1000.0 *. e.wall_s)
     (String.concat " "
        (Array.to_list

@@ -11,6 +11,8 @@
     seconds, and per-worker busy seconds. *)
 type exec_summary = {
   workers : int;
+  batch_size : int;  (** executor batch granularity (max rows per batch) *)
+  batches : int;  (** batches across the run's committed stage outputs *)
   wall_s : float;
   busy_s : float array;
 }

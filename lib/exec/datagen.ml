@@ -28,21 +28,49 @@ let value_for (ty : Schema.coltype) v =
   | Schema.Tfloat -> Value.Float (float_of_int v)
   | Schema.Tstr -> Value.Str (Printf.sprintf "v%d" v)
 
-(* Generate the full (scaled) table of a catalog file, restricted to
-   [schema]'s columns. *)
+(* Generation is a pure function of (config, file, schema, stats) — the
+   RNG is seeded from the file name alone — so tables are memoized on
+   that structural key.  Every consumer (engine extracts, the reference
+   evaluator, repeated runs on a reused engine) gets the same physical
+   table it would have regenerated, draw for draw; only the splitmix64
+   work is saved.  Guarded by a mutex: engine stages extract from pool
+   domains.  The memo is bounded — property-based tests stream thousands
+   of one-shot catalogs through here — by resetting when it outgrows
+   [memo_cap]. *)
+let memo :
+    (int * string * Schema.t * Catalog.file_stats, Table.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let memo_mu = Mutex.create ()
+let memo_cap = 512
+
+let generate config (stats : Catalog.file_stats) ~(file : string)
+    ~(schema : Schema.t) : Table.t =
+  let rows = scaled_rows config stats in
+  let rng = Sutil.Rng.create (Hashtbl.hash file) in
+  let gen_col (c : Schema.column) =
+    let ndv = scaled_ndv config stats (Catalog.col_ndv stats c.Schema.name) in
+    fun () -> value_for c.Schema.ty (Sutil.Rng.int rng ndv)
+  in
+  let gens = List.map gen_col schema in
+  let data =
+    List.init rows (fun _ -> Array.of_list (List.map (fun g -> g ()) gens))
+  in
+  Table.make schema data
+
+(* The full (scaled) table of a catalog file, restricted to [schema]'s
+   columns. *)
 let table ?(config = default) (catalog : Catalog.t) ~(file : string)
     ~(schema : Schema.t) : Table.t =
   match Catalog.find catalog file with
   | None -> Table.empty schema
   | Some stats ->
-      let rows = scaled_rows config stats in
-      let rng = Sutil.Rng.create (Hashtbl.hash file) in
-      let gen_col (c : Schema.column) =
-        let ndv = scaled_ndv config stats (Catalog.col_ndv stats c.Schema.name) in
-        fun () -> value_for c.Schema.ty (Sutil.Rng.int rng ndv)
-      in
-      let gens = List.map gen_col schema in
-      let data =
-        List.init rows (fun _ -> Array.of_list (List.map (fun g -> g ()) gens))
-      in
-      Table.make schema data
+      let key = (config.max_rows, file, schema, stats) in
+      Mutex.protect memo_mu (fun () ->
+          match Hashtbl.find_opt memo key with
+          | Some t -> t
+          | None ->
+              let t = generate config stats ~file ~schema in
+              if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+              Hashtbl.add memo key t;
+              t)

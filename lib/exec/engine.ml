@@ -1,43 +1,55 @@
 open Relalg
 open Sphys
 
-(* Simulated distributed execution of physical plans, staged and
-   domain-parallel.
+(* Simulated distributed execution of physical plans, staged,
+   domain-parallel and vectorized.
 
-   A stream is an array of per-machine row lists.  Exchanges move rows
-   between machines using a *commutative* per-row hash over the partition
-   columns, so two inputs partitioned on column sets linked by join
-   equalities are co-located (the property the optimizer's co-partitioning
-   rules rely on).
+   A stream is an array of per-machine *batch lists* ([Batch.t]): one
+   value array per column plus a selection vector, consumed and produced
+   whole batches at a time.  Filters narrow selection vectors in place,
+   projections map columns, exchanges compute a hash per live row and
+   scatter batch slices per destination machine, sort/aggregate kernels
+   run over whole column arrays (streaming aggregation carries its group
+   state across batch boundaries).  Exchange / spool / gather boundaries
+   ship batches, so stage outputs are cached — and recomputed after a
+   fault — in batch form.
+
+   Exchanges use a *commutative* per-row hash over the partition columns,
+   so two inputs partitioned on column sets linked by join equalities are
+   co-located (the property the optimizer's co-partitioning rules rely
+   on).
 
    Execution is staged, SCOPE/Dryad style: [Stage.build] cuts the plan at
    exchange / merge-exchange / gather / spool boundaries, and [Scheduler]
    runs the stages bottom-up in deterministic waves, caching each stage's
    output for its consumers.  With [workers > 1] a fixed pool of OCaml 5
-   domains executes independent stages of a wave concurrently, and the
-   per-machine vertex loops inside a stage (joins, partition maps, the
-   routing phase of exchanges) fan out across the same pool.  Outputs are
-   byte-identical at every worker count: parallel loops write disjoint
-   slots, and everything order-sensitive happens at the scheduler's
-   commit barriers.
+   domains executes independent stages of a wave concurrently; the
+   per-machine vertex loops inside a stage fan out across the same pool
+   only when the stage moves enough rows to amortize the dispatch
+   ([par_threshold]).  Outputs are byte-identical at every worker count
+   *and* every batch size: parallel loops write disjoint slots,
+   everything order-sensitive happens at the scheduler's commit barriers,
+   and every batch kernel preserves the row engine's live-row order
+   (chunking only changes framing — see [Batch]).
 
    Counter discipline under parallelism: each stage execution accumulates
-   its stream counters (rows shuffled / extracted, spool traffic) in a
-   private [tally], merged into the engine's totals under a mutex when
-   the stage finishes — addition commutes, so totals are deterministic.
-   Property violations go to a per-stage slot (one writer each) and are
-   flattened in stage-id order after the run.  With fault injection
-   ([Faults]), cached partitions can be lost between stages and are
-   recovered by recomputing the producing stage; [Validate] compares
+   its stream counters (rows shuffled / extracted, spool traffic, batches
+   produced) in a private [tally], merged into the engine's totals under
+   a mutex when the stage finishes — addition commutes, so totals are
+   deterministic.  Property violations go to a per-stage slot (one writer
+   each) and are flattened in stage-id order after the run.  With fault
+   injection ([Faults]), cached partitions can be lost between stages and
+   are recovered by recomputing the producing stage; [Validate] compares
    every output against the reference evaluator. *)
 
-type dist = { schema : Schema.t; parts : Value.t array list array }
+type dist = { schema : Schema.t; parts : Batch.t list array }
 
 type counters = {
   mutable rows_shuffled : int;
   mutable rows_extracted : int;
   mutable spool_executions : int;
   mutable spool_reads : int;
+  mutable batches : int;
   mutable stages_run : int;
   mutable vertices_run : int;
   mutable retries : int;
@@ -49,12 +61,22 @@ type counters = {
 type t = {
   machines : int;
   workers : int;  (* domain-pool width; 1 = fully sequential *)
+  batch_size : int;  (* max rows per produced batch *)
   catalog : Catalog.t;
   datagen : Datagen.config;
   (* when set, every run draws deterministic fault events from this spec *)
   faults : Faults.spec option;
   counters : counters;
   mu : Mutex.t;  (* guards [counters] merges from worker domains *)
+  (* per-(file, schema) extract batches: [Datagen] is deterministic, so a
+     re-extraction — another stage over the same file, a later rep on a
+     reused engine, a fault recovery — returns byte-identical rows by
+     construction; serving the cached batches is indistinguishable from
+     recomputing them.  Guarded by [extract_mu] (stages of one wave may
+     extract concurrently).  [rows_extracted] still counts every extract
+     execution, cached or not, so fault accounting is unchanged. *)
+  extract_mu : Mutex.t;
+  extract_cache : (int * string * Schema.t, int * Batch.t list array) Hashtbl.t;
   mutable outputs_rev : (string * Table.t) list;
   (* when set, every operator's *claimed* delivered properties are checked
      against the rows it actually produced *)
@@ -77,12 +99,37 @@ let c_recomputed = Sutil.Counters.counter "exec.recomputed_rows"
 let c_partitions_lost = Sutil.Counters.counter "exec.partitions_lost"
 let c_machines_failed = Sutil.Counters.counter "exec.machines_failed"
 let c_wall_us = Sutil.Counters.counter "exec.wall_us"
+let c_batches = Sutil.Counters.counter "exec.batches"
 
+(* Distribution of live rows per stage-output batch. *)
+let batch_rows_h = Sobs.Hist.hist "exec.batch_rows"
+
+let default_batch_size = 1024
+
+(* Below this many moved rows a per-machine loop runs inline: fanning
+   tiny column slices across domains costs more in dispatch than the
+   work.  Scheduling only — results are slot-disjoint either way. *)
+let par_threshold = 8192
+
+(* A pool wider than the host's cores cannot help — the domains timeshare
+   and every stop-the-world minor collection pays their scheduling
+   latency — so the requested width is capped at the hardware parallelism
+   unless the caller insists ([oversubscribe], used by the determinism
+   tests to exercise true multi-domain runs regardless of host).  Results
+   are byte-identical at every worker count, so the cap is scheduling
+   only. *)
 let create ?(datagen = Datagen.default) ?(verify_props = false) ?faults
-    ?(workers = 1) ~machines catalog =
+    ?(oversubscribe = false) ?(workers = 1)
+    ?(batch_size = default_batch_size) ~machines catalog =
+  let workers = max 1 workers in
+  let workers =
+    if oversubscribe then workers
+    else min workers (Domain.recommended_domain_count ())
+  in
   {
     machines;
-    workers = max 1 workers;
+    workers;
+    batch_size = max 1 batch_size;
     catalog;
     datagen;
     faults;
@@ -92,6 +139,7 @@ let create ?(datagen = Datagen.default) ?(verify_props = false) ?faults
         rows_extracted = 0;
         spool_executions = 0;
         spool_reads = 0;
+        batches = 0;
         stages_run = 0;
         vertices_run = 0;
         retries = 0;
@@ -100,6 +148,8 @@ let create ?(datagen = Datagen.default) ?(verify_props = false) ?faults
         machines_failed = 0;
       };
     mu = Mutex.create ();
+    extract_mu = Mutex.create ();
+    extract_cache = Hashtbl.create 16;
     outputs_rev = [];
     verify_props;
     prop_violations = [];
@@ -109,7 +159,28 @@ let create ?(datagen = Datagen.default) ?(verify_props = false) ?faults
     last_busy = [||];
   }
 
-let empty_parts t = Array.make t.machines []
+let empty_parts t : Batch.t list array = Array.make t.machines []
+
+let part_live bs = List.fold_left (fun acc b -> acc + Batch.live b) 0 bs
+
+let dist_rows (d : dist) =
+  Array.fold_left (fun acc bs -> acc + part_live bs) 0 d.parts
+
+let dist_batches (d : dist) =
+  Array.fold_left (fun acc bs -> acc + List.length bs) 0 d.parts
+
+(* Row view of one machine's partition, in live order. *)
+let part_rows (d : dist) m = List.concat_map Batch.to_rows d.parts.(m)
+
+(* Build a stream from per-machine row lists (tests, examples). *)
+let dist_of_parts schema (parts : Value.t array list array) : dist =
+  {
+    schema;
+    parts =
+      Array.map
+        (fun rows -> if rows = [] then [] else [ Batch.of_rows schema rows ])
+        parts;
+  }
 
 (* One stage execution's private stream counters; merged into the shared
    totals under the engine mutex when the stage finishes, so worker
@@ -120,105 +191,110 @@ type tally = {
   mutable t_extracted : int;
   mutable t_spool_exec : int;
   mutable t_spool_reads : int;
+  mutable t_batches : int;
 }
 
 let fresh_tally () =
-  { t_shuffled = 0; t_extracted = 0; t_spool_exec = 0; t_spool_reads = 0 }
+  {
+    t_shuffled = 0;
+    t_extracted = 0;
+    t_spool_exec = 0;
+    t_spool_reads = 0;
+    t_batches = 0;
+  }
 
 let merge_tally t (y : tally) =
+  Sutil.Counters.bump c_batches y.t_batches;
   Mutex.protect t.mu (fun () ->
       let c = t.counters in
       c.rows_shuffled <- c.rows_shuffled + y.t_shuffled;
       c.rows_extracted <- c.rows_extracted + y.t_extracted;
       c.spool_executions <- c.spool_executions + y.t_spool_exec;
-      c.spool_reads <- c.spool_reads + y.t_spool_reads)
-
-(* Commutative hash of the values of [cols]: the sum of per-value hashes,
-   so the machine assignment does not depend on column order. *)
-let route ~machines (schema : Schema.t) (cols : Colset.t)
-    (row : Value.t array) =
-  let idxs = List.map (fun c -> Schema.index c schema) (Colset.to_list cols) in
-  let h = List.fold_left (fun acc i -> acc + Value.hash row.(i)) 17 idxs in
-  (h land max_int) mod machines
+      c.spool_reads <- c.spool_reads + y.t_spool_reads;
+      c.batches <- c.batches + y.t_batches)
 
 (* Per-partition map across the pool: slot [m] is written only by the
    task that evaluated partition [m], so the result is schedule
-   independent. *)
+   independent.  Small streams run inline (see [par_threshold]). *)
 let map_parts pool f (d : dist) schema' =
-  {
-    schema = schema';
-    parts =
-      Sutil.Pool.parallel_init pool (Array.length d.parts) (fun m ->
-          f d.parts.(m));
-  }
-
-let sort_rows (schema : Schema.t) (order : Sortorder.t) rows =
-  let idxs =
-    List.map (fun (c, dir) -> (Schema.index c schema, dir)) order
-  in
-  let cmp a b =
-    let rec go = function
-      | [] -> 0
-      | (i, dir) :: rest ->
-          let c = Value.compare a.(i) b.(i) in
-          let c = match dir with Sortorder.Asc -> c | Sortorder.Desc -> -c in
-          if c <> 0 then c else go rest
-    in
-    go idxs
-  in
-  List.stable_sort cmp rows
-
-(* Streaming aggregation over rows whose groups are contiguous. *)
-let stream_agg (schema : Schema.t) ~keys ~(aggs : Agg.t list) rows =
-  let key_idx = List.map (fun k -> Schema.index k schema) keys in
-  let key_of row = List.map (fun i -> row.(i)) key_idx in
-  let out = ref [] in
-  let flush key states =
-    out := Array.of_list (key @ List.map2 Agg.finish aggs states) :: !out
-  in
-  let current = ref None in
-  List.iter
-    (fun row ->
-      let k = key_of row in
-      (match !current with
-      | Some (k0, states) when List.equal Value.equal k0 k ->
-          List.iter2 (fun a st -> Agg.step a st schema row) aggs states
-      | Some (k0, states) ->
-          flush k0 states;
-          let states = List.map (fun _ -> Agg.init ()) aggs in
-          List.iter2 (fun a st -> Agg.step a st schema row) aggs states;
-          current := Some (k, states)
-      | None ->
-          let states = List.map (fun _ -> Agg.init ()) aggs in
-          List.iter2 (fun a st -> Agg.step a st schema row) aggs states;
-          current := Some (k, states)))
-    rows;
-  (match !current with Some (k0, states) -> flush k0 states | None -> ());
-  List.rev !out
-
-(* Two-phase exchange: each input partition is routed into per-machine
-   buckets in parallel (rows keep their within-partition order), then
-   each output machine concatenates its buckets in input-partition order
-   — exactly the arrival order the sequential single-pass version
-   produced, at every worker count. *)
-let exchange_on pool ~machines (tally : tally) (d : dist) cols =
-  let nsrc = Array.length d.parts in
-  let buckets =
-    Sutil.Pool.parallel_init pool nsrc (fun src ->
-        let local = Array.make machines [] in
-        List.iter
-          (fun row ->
-            let m = route ~machines d.schema cols row in
-            local.(m) <- row :: local.(m))
-          d.parts.(src);
-        Array.map List.rev local)
-  in
-  tally.t_shuffled <-
-    tally.t_shuffled
-    + Array.fold_left (fun acc p -> acc + List.length p) 0 d.parts;
   let parts =
-    Array.init machines (fun dst ->
-        List.concat (List.init nsrc (fun src -> buckets.(src).(dst))))
+    if dist_rows d < par_threshold then Array.map f d.parts
+    else
+      Sutil.Pool.parallel_init pool (Array.length d.parts) (fun m ->
+          f d.parts.(m))
+  in
+  { schema = schema'; parts }
+
+let sort_keys (schema : Schema.t) (order : Sortorder.t) =
+  List.map (fun (c, dir) -> (Schema.index c schema, dir)) order
+
+(* Sort one machine's batches: concatenate, one stable columnar sort,
+   re-chunk.  Identical to stable-sorting the partition's row list. *)
+let sort_part batch_size schema keys bs =
+  Batch.split ~size:batch_size (Batch.sort keys (Batch.concat schema bs))
+
+(* Streaming aggregation over rows whose groups are contiguous —
+   row-level convenience wrapper around the batch kernel, kept for tests
+   and direct callers. *)
+let stream_agg (schema : Schema.t) ~keys ~(aggs : Agg.t list) rows =
+  let key_idx = Array.of_list (List.map (fun k -> Schema.index k schema) keys) in
+  let aggs_a = Array.of_list aggs in
+  let cargs = Array.map (fun a -> Expr.compile schema a.Agg.arg) aggs_a in
+  let out_schema =
+    List.map
+      (fun k ->
+        match Schema.find k schema with
+        | Some c -> c
+        | None -> Schema.column k Schema.Tint)
+      keys
+    @ List.map
+        (fun a -> Schema.column a.Agg.output (Agg.output_type schema a))
+        aggs
+  in
+  Batch.to_rows
+    (Batch.stream_agg out_schema ~key_idx ~aggs:aggs_a ~cargs
+       [ Batch.of_rows schema rows ])
+
+(* Two-phase exchange: each input partition's batches compute their
+   per-destination routing selections in parallel (no column data moves),
+   then each output machine gathers its fragments — in input-partition
+   order, batch order within a partition, row order within a batch — into
+   one dense batch.  Exactly the arrival order the sequential single-pass
+   row engine produced, at every worker count and batch size, with one
+   column copy per received row. *)
+let exchange_on pool ~machines (tally : tally) (d : dist) cols =
+  let key_idx =
+    Array.of_list
+      (List.map (fun c -> Schema.index c d.schema) (Colset.to_list cols))
+  in
+  let nsrc = Array.length d.parts in
+  let total = dist_rows d in
+  let scatter_src src =
+    List.map
+      (fun b -> (b, Batch.scatter_sel ~machines key_idx b))
+      d.parts.(src)
+  in
+  let par = total >= par_threshold in
+  let buckets =
+    if par then Sutil.Pool.parallel_init pool nsrc scatter_src
+    else Array.init nsrc scatter_src
+  in
+  tally.t_shuffled <- tally.t_shuffled + total;
+  let gather_dst dst =
+    let frags = ref [] in
+    for src = nsrc - 1 downto 0 do
+      List.iter
+        (fun (b, sels) ->
+          if Array.length sels.(dst) > 0 then frags := (b, sels.(dst)) :: !frags)
+        (List.rev buckets.(src))
+    done;
+    match !frags with
+    | [] -> []
+    | frags -> [ Batch.gather d.schema frags ]
+  in
+  let parts =
+    if par then Sutil.Pool.parallel_init pool machines gather_dst
+    else Array.init machines gather_dst
   in
   { schema = d.schema; parts }
 
@@ -250,15 +326,20 @@ let pred_of_pairs pairs residual =
    per the claimed order.  A claimed partition or sort column that the
    delivered schema does not even contain is itself a violation.
    Violations accumulate in [viols], newest first — one ref per stage
-   execution, so concurrent stages never interleave their reports. *)
+   execution, so concurrent stages never interleave their reports.
+   Checking extracts a row view per partition; it is test-only
+   instrumentation ([verify_props]), never on the bench path. *)
 let check_delivered viols (n : Plan.t) (d : dist) =
   let violation fmt = Fmt.kstr (fun m -> viols := m :: !viols) fmt in
   let where = Physop.to_string n.Plan.op in
+  let rows_of m = List.concat_map Batch.to_rows d.parts.(m) in
   (match n.Plan.props.Props.part with
   | Partition.Roundrobin -> ()
   | Partition.Serial ->
       let occupied =
-        Array.fold_left (fun acc p -> if p = [] then acc else acc + 1) 0 d.parts
+        Array.fold_left
+          (fun acc bs -> if part_live bs = 0 then acc else acc + 1)
+          0 d.parts
       in
       if occupied > 1 then
         violation "%s: claims serial but occupies %d machines" where occupied
@@ -272,22 +353,21 @@ let check_delivered viols (n : Plan.t) (d : dist) =
           (Colset.cardinal s - List.length idxs)
       else begin
         let homes = Hashtbl.create 64 in
-        Array.iteri
-          (fun m part ->
-            List.iter
-              (fun row ->
-                let key = List.map (fun i -> row.(i)) idxs in
-                match Hashtbl.find_opt homes key with
-                | Some m0 when m0 <> m ->
-                    violation
-                      "%s: claims hash%s but a %s group spans machines %d and %d"
-                      where (Colset.to_string s) (Colset.to_string s) m0 m
-                | Some _ -> ()
-                | None -> Hashtbl.add homes key m)
-              part)
-          d.parts
+        for m = 0 to Array.length d.parts - 1 do
+          List.iter
+            (fun row ->
+              let key = List.map (fun i -> row.(i)) idxs in
+              match Hashtbl.find_opt homes key with
+              | Some m0 when m0 <> m ->
+                  violation
+                    "%s: claims hash%s but a %s group spans machines %d and %d"
+                    where (Colset.to_string s) (Colset.to_string s) m0 m
+              | Some _ -> ()
+              | None -> Hashtbl.add homes key m)
+            (rows_of m)
+        done
       end);
-  (match n.Plan.props.Props.sort with
+  match n.Plan.props.Props.sort with
   | [] -> ()
   | order ->
       let idxs =
@@ -311,16 +391,15 @@ let check_delivered viols (n : Plan.t) (d : dist) =
           in
           go idxs
         in
-        Array.iteri
-          (fun m part ->
-            let rec sorted = function
-              | a :: (b :: _ as rest) -> cmp a b <= 0 && sorted rest
-              | _ -> true
-            in
-            if not (sorted part) then
-              violation "%s: claims sort %s but machine %d is out of order"
-                where (Sortorder.to_string order) m)
-          d.parts)
+        for m = 0 to Array.length d.parts - 1 do
+          let rec sorted = function
+            | a :: (b :: _ as rest) -> cmp a b <= 0 && sorted rest
+            | _ -> true
+          in
+          if not (sorted (rows_of m)) then
+            violation "%s: claims sort %s but machine %d is out of order"
+              where (Sortorder.to_string order) m
+        done
 
 (* Evaluate one stage's interior.  Boundary children are consumed from the
    stage's dependency list in left-to-right depth-first order — the order
@@ -359,40 +438,86 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
     let schema = n.Plan.schema in
     match n.Plan.op with
     | Physop.P_extract { file; schema = fschema; _ } ->
-        let table =
-          Datagen.table ~config:t.datagen t.catalog ~file ~schema:fschema
+        let key = (Catalog.version t.catalog, file, fschema) in
+        let rows, parts =
+          Mutex.protect t.extract_mu (fun () ->
+              match Hashtbl.find_opt t.extract_cache key with
+              | Some cached -> cached
+              | None ->
+                  let table =
+                    Datagen.table ~config:t.datagen t.catalog ~file
+                      ~schema:fschema
+                  in
+                  let parts = Array.make t.machines [] in
+                  List.iteri
+                    (fun i row ->
+                      let m = i mod t.machines in
+                      parts.(m) <- row :: parts.(m))
+                    table.Table.rows;
+                  let built =
+                    ( Table.cardinality table,
+                      Array.map
+                        (fun rows ->
+                          if rows = [] then []
+                          else
+                            Batch.split ~size:t.batch_size
+                              (Batch.of_rows fschema (List.rev rows)))
+                        parts )
+                  in
+                  Hashtbl.add t.extract_cache key built;
+                  built)
         in
-        tally.t_extracted <- tally.t_extracted + Table.cardinality table;
-        let parts = empty_parts t in
-        List.iteri
-          (fun i row ->
-            let m = i mod t.machines in
-            parts.(m) <- row :: parts.(m))
-          table.Table.rows;
-        { schema = fschema; parts = Array.map List.rev parts }
+        tally.t_extracted <- tally.t_extracted + rows;
+        { schema = fschema; parts }
     | Physop.P_filter { pred } ->
         let d = eval_child (List.hd n.Plan.children) in
+        let cpred = Expr.compile d.schema pred in
         map_parts pool
-          (List.filter (fun row -> Expr.eval_pred d.schema row pred))
+          (fun bs ->
+            List.filter_map
+              (fun b ->
+                let b = Batch.filter cpred b in
+                if Batch.live b = 0 then None else Some b)
+              bs)
           d schema
     | Physop.P_project { items } ->
         let d = eval_child (List.hd n.Plan.children) in
-        map_parts pool
-          (List.map (fun row ->
-               Array.of_list
-                 (List.map (fun (e, _) -> Expr.eval d.schema row e) items)))
-          d schema
+        let ces =
+          Array.of_list
+            (List.map (fun (e, _) -> Expr.compile d.schema e) items)
+        in
+        map_parts pool (List.map (Batch.project schema ces)) d schema
     | Physop.P_sort { order } ->
         let d = eval_child (List.hd n.Plan.children) in
-        map_parts pool (sort_rows d.schema order) d schema
+        let keys = sort_keys d.schema order in
+        map_parts pool (sort_part t.batch_size d.schema keys) d schema
     | Physop.P_stream_agg { keys; aggs; scope = _ } ->
         let d = eval_child (List.hd n.Plan.children) in
-        map_parts pool (stream_agg d.schema ~keys ~aggs) d schema
+        let key_idx =
+          Array.of_list (List.map (fun k -> Schema.index k d.schema) keys)
+        in
+        let aggs_a = Array.of_list aggs in
+        let cargs =
+          Array.map (fun a -> Expr.compile d.schema a.Agg.arg) aggs_a
+        in
+        map_parts pool
+          (fun bs ->
+            Batch.split ~size:t.batch_size
+              (Batch.stream_agg schema ~key_idx ~aggs:aggs_a ~cargs bs))
+          d schema
     | Physop.P_hash_agg { keys; aggs; scope = _ } ->
         let d = eval_child (List.hd n.Plan.children) in
+        let key_idx =
+          Array.of_list (List.map (fun k -> Schema.index k d.schema) keys)
+        in
+        let aggs_a = Array.of_list aggs in
+        let cargs =
+          Array.map (fun a -> Expr.compile d.schema a.Agg.arg) aggs_a
+        in
         map_parts pool
-          (fun rows ->
-            (Table.group_by (Table.make d.schema rows) ~keys ~aggs).Table.rows)
+          (fun bs ->
+            Batch.split ~size:t.batch_size
+              (Batch.hash_agg schema ~key_idx ~aggs:aggs_a ~cargs bs))
           d schema
     | Physop.P_merge_join { kind; pairs; residual }
     | Physop.P_hash_join { kind; pairs; residual } -> (
@@ -402,18 +527,25 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
                compiler's left-to-right walk *)
             let l = eval_child lc in
             let r = eval_child rc in
-            let pred = pred_of_pairs pairs residual in
+            let kind =
+              match kind with
+              | Slogical.Logop.Inner -> `Inner
+              | Slogical.Logop.Left_outer -> `Left_outer
+            in
+            let cpred =
+              Expr.compile (l.schema @ r.schema)
+                (pred_of_pairs pairs residual)
+            in
+            let join_m m =
+              Batch.split ~size:t.batch_size
+                (Batch.join ~kind cpred
+                   (Batch.concat l.schema l.parts.(m))
+                   (Batch.concat r.schema r.parts.(m)))
+            in
             let parts =
-              Sutil.Pool.parallel_init pool t.machines (fun m ->
-                  (Table.join
-                     ~kind:
-                       (match kind with
-                       | Slogical.Logop.Inner -> `Inner
-                       | Slogical.Logop.Left_outer -> `Left_outer)
-                     (Table.make l.schema l.parts.(m))
-                     (Table.make r.schema r.parts.(m))
-                     pred)
-                    .Table.rows)
+              if dist_rows l + dist_rows r < par_threshold then
+                Array.init t.machines join_m
+              else Sutil.Pool.parallel_init pool t.machines join_m
             in
             { schema; parts }
         | _ -> invalid_arg "Engine: join expects two children")
@@ -437,7 +569,9 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
         if not is_sink then
           invalid_arg "Engine: OUTPUT outside the sink stage";
         let d = eval_child (List.hd n.Plan.children) in
-        let rows = Array.to_list d.parts |> List.concat in
+        let rows =
+          List.concat (List.init t.machines (fun m -> part_rows d m))
+        in
         t.outputs_rev <- (file, Table.make d.schema rows) :: t.outputs_rev;
         d
     | Physop.P_sequence ->
@@ -451,28 +585,34 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
         let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
         let ex = exchange_on pool ~machines:t.machines tally d cols in
         (* merge the sorted runs: re-sorting each partition is equivalent *)
-        map_parts pool (sort_rows ex.schema child_sort) ex ex.schema
+        let keys = sort_keys ex.schema child_sort in
+        map_parts pool (sort_part t.batch_size ex.schema keys) ex ex.schema
     | Physop.P_gather ->
         let d = eval_child (List.hd n.Plan.children) in
-        let all = Array.to_list d.parts |> List.concat in
+        let all = List.concat (Array.to_list d.parts) in
         let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
         let all =
           if Sortorder.is_empty child_sort then all
-          else sort_rows d.schema child_sort all
+          else
+            sort_part t.batch_size d.schema (sort_keys d.schema child_sort)
+              all
         in
         let parts = empty_parts t in
         parts.(0) <- all;
-        tally.t_shuffled <- tally.t_shuffled + List.length all;
+        tally.t_shuffled <- tally.t_shuffled + part_live all;
         { schema = d.schema; parts }
   in
   let d = eval st.Stage.root in
   (match !deps with
   | [] -> ()
   | _ -> invalid_arg "Engine: stage dependencies left unconsumed");
+  (* per-stage batch accounting over the committed output *)
+  Array.iter
+    (List.iter (fun b ->
+         tally.t_batches <- tally.t_batches + 1;
+         Sobs.Hist.observe batch_rows_h (float_of_int (Batch.live b))))
+    d.parts;
   d
-
-let dist_rows (d : dist) =
-  Array.fold_left (fun acc p -> acc + List.length p) 0 d.parts
 
 let execute t (plan : Plan.t) : dist =
   let graph =
@@ -498,6 +638,7 @@ let execute t (plan : Plan.t) : dist =
         [
           ("stages", Sobs.Trace.Int (Stage.size graph));
           ("workers", Sobs.Trace.Int t.workers);
+          ("batch_size", Sobs.Trace.Int t.batch_size);
         ]
       "run stages";
   let outcome =
@@ -562,6 +703,7 @@ let run t (plan : Plan.t) : (string * Table.t) list =
   c.rows_extracted <- 0;
   c.spool_executions <- 0;
   c.spool_reads <- 0;
+  c.batches <- 0;
   c.stages_run <- 0;
   c.vertices_run <- 0;
   c.retries <- 0;

@@ -1,35 +1,40 @@
-(** Simulated distributed execution of physical plans, staged and
-    domain-parallel.
+(** Simulated distributed execution of physical plans, staged,
+    domain-parallel and vectorized.
 
-    A stream is an array of per-machine row lists. Exchanges move rows with
-    a commutative per-row hash over the partition columns, so inputs
-    partitioned on equality-linked column sets are co-located.
+    A stream is an array of per-machine {!Batch.t} lists — columnar
+    batches (one value array per column plus a selection vector) consumed
+    and produced whole.  Filters narrow selection vectors, projections
+    map columns, exchanges hash-route batch slices per destination
+    machine with a commutative per-row hash (inputs partitioned on
+    equality-linked column sets are co-located), and sort/aggregate
+    kernels run over whole column arrays with contiguous-group streaming
+    preserved across batch boundaries.
 
     Execution is staged, SCOPE/Dryad style: {!Stage.build} cuts the plan
     at exchange / merge-exchange / gather / spool boundaries and
     {!Scheduler.run} executes the stages bottom-up in deterministic
-    waves, caching each stage's output for its consumers — a spooled
-    subexpression runs once however many consumers read it. With
-    [workers > 1], independent stages of a wave and the per-machine
-    vertex loops inside each stage fan out across a fixed pool of OCaml 5
-    domains; outputs and all fault/retry accounting are byte-identical at
-    every worker count. With a fault {!Faults.spec} installed, cached
-    partitions can be lost between stages and are recovered by
-    recomputing the producing stage. Counters record rows
-    shuffled/extracted, spool executions/reads, and stage/retry
-    accounting (also surfaced as the global [exec.*] counters in
-    [Sutil.Counters]). *)
+    waves, caching each stage's output — in batch form — for its
+    consumers; a spooled subexpression runs once however many consumers
+    read it.  With [workers > 1], independent stages of a wave fan out
+    across a fixed pool of OCaml 5 domains (per-machine vertex loops join
+    them only when the stage moves enough rows to amortize dispatch);
+    outputs and all fault/retry accounting are byte-identical at every
+    worker count {e and} every batch size.  With a fault {!Faults.spec}
+    installed, cached partitions can be lost between stages and are
+    recovered by recomputing the producing stage.  Counters record rows
+    shuffled/extracted, spool executions/reads, batches produced, and
+    stage/retry accounting (also surfaced as the global [exec.*] counters
+    in [Sutil.Counters], with a rows-per-batch histogram in
+    [Sobs.Hist]). *)
 
-type dist = {
-  schema : Relalg.Schema.t;
-  parts : Relalg.Value.t array list array;
-}
+type dist = { schema : Relalg.Schema.t; parts : Batch.t list array }
 
 type counters = {
   mutable rows_shuffled : int;
   mutable rows_extracted : int;
   mutable spool_executions : int;
   mutable spool_reads : int;
+  mutable batches : int;  (** batches across committed stage outputs *)
   mutable stages_run : int;  (** stage executions, recoveries included *)
   mutable vertices_run : int;  (** one vertex per machine per execution *)
   mutable retries : int;  (** recovery re-executions of completed stages *)
@@ -41,12 +46,20 @@ type counters = {
 type t = {
   machines : int;
   workers : int;  (** domain-pool width; 1 = fully sequential *)
+  batch_size : int;  (** max rows per produced batch *)
   catalog : Relalg.Catalog.t;
   datagen : Datagen.config;
   faults : Faults.spec option;
       (** when set, every run draws deterministic fault events *)
   counters : counters;
   mu : Mutex.t;  (** guards [counters] merges from worker domains *)
+  extract_mu : Mutex.t;  (** guards [extract_cache] *)
+  extract_cache :
+    (int * string * Relalg.Schema.t, int * Batch.t list array) Hashtbl.t;
+      (** extract batches per (catalog version, file, schema): [Datagen]
+          is deterministic, so serving the cache is indistinguishable
+          from re-extracting; [rows_extracted] still counts every
+          extract execution *)
   mutable outputs_rev : (string * Relalg.Table.t) list;
       (** OUTPUT tables in reverse script order; [run] returns them
           reversed *)
@@ -66,20 +79,43 @@ type t = {
       (** per-worker busy seconds of the most recent [execute] *)
 }
 
+val default_batch_size : int
+
+(** [workers] is capped at the host's hardware parallelism — an
+    oversubscribed pool only adds scheduling latency — unless
+    [oversubscribe] is set (the determinism tests use it to force true
+    multi-domain runs on any host).  Results are byte-identical at every
+    worker count either way. *)
 val create :
   ?datagen:Datagen.config ->
   ?verify_props:bool ->
   ?faults:Faults.spec ->
+  ?oversubscribe:bool ->
   ?workers:int ->
+  ?batch_size:int ->
   machines:int ->
   Relalg.Catalog.t ->
   t
+
+(** Total live rows of a stream. *)
+val dist_rows : dist -> int
+
+(** Total batches of a stream. *)
+val dist_batches : dist -> int
+
+(** Row view of one machine's partition, in live order. *)
+val part_rows : dist -> int -> Relalg.Value.t array list
+
+(** Build a stream from per-machine row lists (tests, examples): each
+    non-empty partition becomes one batch. *)
+val dist_of_parts : Relalg.Schema.t -> Relalg.Value.t array list array -> dist
 
 (** Hash-repartition a stream on a column set (counts shuffled rows).
     Sequential convenience entry point for tests and examples. *)
 val exchange : t -> dist -> Relalg.Colset.t -> dist
 
-(** Streaming aggregation over rows whose groups are contiguous. *)
+(** Streaming aggregation over rows whose groups are contiguous —
+    row-level convenience wrapper around the batch kernel. *)
 val stream_agg :
   Relalg.Schema.t ->
   keys:string list ->

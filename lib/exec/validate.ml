@@ -11,6 +11,7 @@ type outcome = {
   seconds : float array;
   wall : float;
   busy : float array;
+  batch_size : int;
 }
 
 (* ORDER BY specifications per output file, from the logical DAG. *)
@@ -63,11 +64,12 @@ let identical_outputs (a : (string * Table.t) list)
    contents against the reference results for [dag]; outputs with an
    ORDER BY are additionally checked to be globally sorted. *)
 let check ?(datagen = Datagen.default) ?(verify_props = false) ?faults
-    ?(workers = 1) ~machines (catalog : Catalog.t) (dag : Slogical.Dag.t)
-    (plan : Sphys.Plan.t) : outcome =
+    ?oversubscribe ?(workers = 1) ?batch_size ~machines (catalog : Catalog.t)
+    (dag : Slogical.Dag.t) (plan : Sphys.Plan.t) : outcome =
   let expected = Reference.run ~datagen catalog dag in
   let engine =
-    Engine.create ~datagen ~verify_props ?faults ~workers ~machines catalog
+    Engine.create ~datagen ~verify_props ?faults ?oversubscribe ~workers
+      ?batch_size ~machines catalog
   in
   let actual = Engine.run engine plan in
   let mismatches = ref [] in
@@ -113,4 +115,5 @@ let check ?(datagen = Datagen.default) ?(verify_props = false) ?faults
     seconds = engine.Engine.last_seconds;
     wall = engine.Engine.last_wall;
     busy = engine.Engine.last_busy;
+    batch_size = engine.Engine.batch_size;
   }

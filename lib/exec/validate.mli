@@ -10,6 +10,7 @@ type outcome = {
   seconds : float array;  (** per-stage wall seconds, attempts summed *)
   wall : float;  (** execution wall seconds *)
   busy : float array;  (** per-worker busy seconds *)
+  batch_size : int;  (** the engine's batch granularity for the run *)
 }
 
 (** Byte-identical output comparison: same files in the same order, same
@@ -24,13 +25,16 @@ val identical_outputs :
     every operator's claimed delivered properties are checked against the
     rows it actually produced.  [?faults] injects deterministic faults
     during execution (the outputs must still validate); [?workers] sets
-    the executor's domain-pool width — the outcome is identical for every
+    the executor's domain-pool width and [?batch_size] its columnar batch
+    granularity — the outcome is identical for every
     value, only wall time changes. *)
 val check :
   ?datagen:Datagen.config ->
   ?verify_props:bool ->
   ?faults:Faults.spec ->
+  ?oversubscribe:bool ->
   ?workers:int ->
+  ?batch_size:int ->
   machines:int ->
   Relalg.Catalog.t ->
   Slogical.Dag.t ->

@@ -14,14 +14,18 @@ type state = { mutable acc : Value.t; mutable count : int }
 
 let init () = { acc = Value.Null; count = 0 }
 
-let step a st schema row =
-  let v = Expr.eval schema row a.arg in
+(* Fold one already-evaluated argument value into the state; callers that
+   precompiled [a.arg] (the batch executor, [Table.group_by]) evaluate it
+   themselves and skip the per-row schema walk of [step]. *)
+let step_value a st v =
   st.count <- st.count + 1;
   match a.func with
   | Sum -> st.acc <- Value.add st.acc v
   | Count -> ()
   | Min -> st.acc <- (if st.count = 1 then v else Value.min st.acc v)
   | Max -> st.acc <- (if st.count = 1 then v else Value.max st.acc v)
+
+let step a st schema row = step_value a st (Expr.eval schema row a.arg)
 
 let finish a st =
   match a.func with

@@ -13,6 +13,11 @@ type state
 
 val init : unit -> state
 val step : t -> state -> Schema.t -> Value.t array -> unit
+
+(** Fold an already-evaluated argument value into the state — for callers
+    that precompiled [arg] and evaluate it themselves. *)
+val step_value : t -> state -> Value.t -> unit
+
 val finish : t -> state -> Value.t
 
 (** Aggregate that combines local partial results named [a.output] into the

@@ -70,6 +70,45 @@ let rec eval schema (row : Value.t array) = function
 
 let eval_pred schema row e = Value.is_truthy (eval schema row e)
 
+(* Compiled form: every column reference is resolved to its row-layout
+   position once, so per-row evaluation does no schema walking (no
+   per-row string comparisons).  The constructors are public so columnar
+   interpreters (the batch executor) can reuse the same compiled tree
+   with their own data access pattern. *)
+type compiled =
+  | CCol of int
+  | CLit of Value.t
+  | CBinop of binop * compiled * compiled
+  | CCmp of cmpop * compiled * compiled
+  | CAnd of compiled * compiled
+  | COr of compiled * compiled
+  | CNot of compiled
+
+let rec compile schema = function
+  | Col c -> CCol (Schema.index c schema)
+  | Lit v -> CLit v
+  | Binop (op, a, b) -> CBinop (op, compile schema a, compile schema b)
+  | Cmp (op, a, b) -> CCmp (op, compile schema a, compile schema b)
+  | And (a, b) -> CAnd (compile schema a, compile schema b)
+  | Or (a, b) -> COr (compile schema a, compile schema b)
+  | Not a -> CNot (compile schema a)
+
+(* Evaluate a compiled expression against one row.  Mirrors [eval]
+   exactly (same short-circuiting, same Value semantics), minus the
+   per-reference [Schema.index] lookup. *)
+let rec ceval (row : Value.t array) = function
+  | CCol i -> row.(i)
+  | CLit v -> v
+  | CBinop (op, a, b) -> eval_binop op (ceval row a) (ceval row b)
+  | CCmp (op, a, b) -> eval_cmp op (ceval row a) (ceval row b)
+  | CAnd (a, b) ->
+      if Value.is_truthy (ceval row a) then ceval row b else Value.Int 0
+  | COr (a, b) ->
+      if Value.is_truthy (ceval row a) then Value.Int 1 else ceval row b
+  | CNot a -> Value.Int (if Value.is_truthy (ceval row a) then 0 else 1)
+
+let ceval_pred row e = Value.is_truthy (ceval row e)
+
 let rec infer_type schema = function
   | Col c -> (
       match Schema.find c schema with

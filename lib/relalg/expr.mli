@@ -30,6 +30,29 @@ val eval : Schema.t -> Value.t array -> t -> Value.t
 (** Evaluate as a predicate (SQL-ish truthiness). *)
 val eval_pred : Schema.t -> Value.t array -> t -> bool
 
+(** Compiled expression: column references resolved to row-layout
+    positions once, so repeated evaluation does no schema walking.  The
+    constructors are public so columnar interpreters can walk the same
+    tree with their own data access pattern; [ceval]/[ceval_pred] mirror
+    [eval]/[eval_pred] exactly. *)
+type compiled =
+  | CCol of int
+  | CLit of Value.t
+  | CBinop of binop * compiled * compiled
+  | CCmp of cmpop * compiled * compiled
+  | CAnd of compiled * compiled
+  | COr of compiled * compiled
+  | CNot of compiled
+
+(** Resolve column references against the schema.
+    Raises [Not_found] when a referenced column is missing. *)
+val compile : Schema.t -> t -> compiled
+
+val ceval : Value.t array -> compiled -> Value.t
+val ceval_pred : Value.t array -> compiled -> bool
+val eval_binop : binop -> Value.t -> Value.t -> Value.t
+val eval_cmp : cmpop -> Value.t -> Value.t -> Value.t
+
 val infer_type : Schema.t -> t -> Schema.coltype
 
 (** Extract the [(left_col, right_col)] pairs of a pure conjunctive

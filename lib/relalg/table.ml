@@ -13,22 +13,26 @@ let project t exprs_names =
       (fun (e, name) -> Schema.column name (Expr.infer_type t.schema e))
       exprs_names
   in
+  let compiled = List.map (fun (e, _) -> Expr.compile t.schema e) exprs_names in
   let rows' =
     List.map
-      (fun row ->
-        Array.of_list
-          (List.map (fun (e, _) -> Expr.eval t.schema row e) exprs_names))
+      (fun row -> Array.of_list (List.map (Expr.ceval row) compiled))
       t.rows
   in
   { schema = schema'; rows = rows' }
 
 let filter t pred =
-  { t with rows = List.filter (fun r -> Expr.eval_pred t.schema r pred) t.rows }
+  let c = Expr.compile t.schema pred in
+  { t with rows = List.filter (fun r -> Expr.ceval_pred r c) t.rows }
 
 (* Reference group-by used to validate plan execution: hash rows by key
    tuple, run aggregate states per bucket. *)
 let group_by t ~keys ~aggs =
   let key_idx = List.map (fun k -> Schema.index k t.schema) keys in
+  (* aggregate arguments compiled once, not schema-walked per row *)
+  let stepping =
+    List.map (fun a -> (a, Expr.compile t.schema a.Agg.arg)) aggs
+  in
   let tbl : (Value.t list, Value.t array * Agg.state list) Hashtbl.t =
     Hashtbl.create 64
   in
@@ -45,7 +49,9 @@ let group_by t ~keys ~aggs =
             order := key :: !order;
             states
       in
-      List.iter2 (fun a st -> Agg.step a st t.schema row) aggs states)
+      List.iter2
+        (fun (a, carg) st -> Agg.step_value a st (Expr.ceval row carg))
+        stepping states)
     t.rows;
   let key_schema =
     List.map
@@ -71,6 +77,7 @@ let group_by t ~keys ~aggs =
    combined schema; [`Left_outer] pads unmatched left rows with nulls. *)
 let join ?(kind = `Inner) a b pred =
   let schema = a.schema @ b.schema in
+  let cpred = Expr.compile schema pred in
   let pad = Array.make (Schema.arity b.schema) Value.Null in
   let rows =
     List.concat_map
@@ -79,7 +86,7 @@ let join ?(kind = `Inner) a b pred =
           List.filter_map
             (fun rb ->
               let row = Array.append ra rb in
-              if Expr.eval_pred schema row pred then Some row else None)
+              if Expr.ceval_pred row cpred then Some row else None)
             b.rows
         in
         match (matches, kind) with

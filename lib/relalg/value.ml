@@ -19,7 +19,15 @@ let compare a b =
   | Str _, (Int _ | Float _) -> 1
   | Str x, Str y -> String.compare x y
 
-let equal a b = compare a b = 0
+(* Same equivalence as [compare _ _ = 0] — the common same-constructor
+   cases short-circuit past the ordering dispatch. *)
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Null, Null -> true
+  | Float x, Float y -> Float.equal x y
+  | a, b -> compare a b = 0
 
 let hash = function
   | Null -> 17

@@ -72,7 +72,7 @@ type t = {
 }
 
 let create ?(config = Cse.Config.default) ?max_tasks ?max_seconds
-    ?(cluster = Scost.Cluster.default) ?(workers = 1)
+    ?(cluster = Scost.Cluster.default) ?(workers = 1) ?batch_size
     (catalog : Relalg.Catalog.t) =
   {
     catalog;
@@ -82,8 +82,8 @@ let create ?(config = Cse.Config.default) ?max_tasks ?max_seconds
     max_seconds;
     cache = Plan_cache.create ();
     exec =
-      Sexec.Engine.create ~workers ~machines:cluster.Scost.Cluster.machines
-        catalog;
+      Sexec.Engine.create ~workers ?batch_size
+        ~machines:cluster.Scost.Cluster.machines catalog;
     pending = [];
     batches = 0;
   }
@@ -124,6 +124,8 @@ let note_run t wall attempts (report : Cse.Pipeline.report) =
     Some
       {
         Cse.Pipeline.workers = t.exec.Sexec.Engine.workers;
+        batch_size = t.exec.Sexec.Engine.batch_size;
+        batches = t.exec.Sexec.Engine.counters.Sexec.Engine.batches;
         wall_s = t.exec.Sexec.Engine.last_wall;
         busy_s = t.exec.Sexec.Engine.last_busy;
       };

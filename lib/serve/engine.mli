@@ -54,13 +54,15 @@ type t
 (** [create catalog] builds an engine with an empty cache and a
     persistent executor.  [max_tasks]/[max_seconds] bound each
     optimization with a fresh budget (budgets are mutable and cannot be
-    shared across runs). *)
+    shared across runs).  [workers]/[batch_size] configure the
+    executor's domain pool and columnar batch granularity. *)
 val create :
   ?config:Cse.Config.t ->
   ?max_tasks:int ->
   ?max_seconds:float ->
   ?cluster:Scost.Cluster.t ->
   ?workers:int ->
+  ?batch_size:int ->
   Relalg.Catalog.t ->
   t
 

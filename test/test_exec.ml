@@ -32,9 +32,10 @@ let test_datagen_aggregation_reduces () =
 (* --- exchange co-location ------------------------------------------------ *)
 
 let dist_of_rows engine s rows =
-  let parts = Array.make engine.Sexec.Engine.machines [] in
-  List.iteri (fun i r -> parts.(i mod engine.Sexec.Engine.machines) <- r :: parts.(i mod engine.Sexec.Engine.machines)) rows;
-  { Sexec.Engine.schema = s; parts }
+  let machines = engine.Sexec.Engine.machines in
+  let parts = Array.make machines [] in
+  List.iteri (fun i r -> parts.(i mod machines) <- r :: parts.(i mod machines)) rows;
+  Sexec.Engine.dist_of_parts s parts
 
 let test_exchange_colocates_groups () =
   let catalog = Catalog.create () in
@@ -47,17 +48,15 @@ let test_exchange_colocates_groups () =
   let ex = Sexec.Engine.exchange engine d (Colset.of_list [ "A" ]) in
   (* rows with equal A all land on one machine *)
   let homes = Hashtbl.create 8 in
-  Array.iteri
-    (fun m part ->
-      List.iter
-        (fun row ->
-          match Hashtbl.find_opt homes row.(0) with
-          | Some m0 -> Alcotest.(check int) "co-located" m0 m
-          | None -> Hashtbl.add homes row.(0) m)
-        part)
-    ex.Sexec.Engine.parts;
-  Alcotest.(check int) "rows preserved" 200
-    (Array.fold_left (fun acc p -> acc + List.length p) 0 ex.Sexec.Engine.parts);
+  for m = 0 to 4 do
+    List.iter
+      (fun row ->
+        match Hashtbl.find_opt homes row.(0) with
+        | Some m0 -> Alcotest.(check int) "co-located" m0 m
+        | None -> Hashtbl.add homes row.(0) m)
+      (Sexec.Engine.part_rows ex m)
+  done;
+  Alcotest.(check int) "rows preserved" 200 (Sexec.Engine.dist_rows ex);
   Alcotest.(check int) "shuffle counter" 200
     engine.Sexec.Engine.counters.Sexec.Engine.rows_shuffled
 
@@ -82,14 +81,13 @@ let test_exchange_order_insensitive_hash () =
   (* the (a,b) row of ex1 and the (b,a) row of ex2 are on the same machine *)
   let machine_of (ex : Sexec.Engine.dist) v0 v1 =
     let found = ref (-1) in
-    Array.iteri
-      (fun m part ->
-        if
-          List.exists
-            (fun r -> Value.equal r.(0) v0 && Value.equal r.(1) v1)
-            part
-        then found := m)
-      ex.Sexec.Engine.parts;
+    for m = 0 to 6 do
+      if
+        List.exists
+          (fun r -> Value.equal r.(0) v0 && Value.equal r.(1) v1)
+          (Sexec.Engine.part_rows ex m)
+      then found := m
+    done;
     !found
   in
   List.iter
@@ -347,10 +345,13 @@ let test_faults_budget_exhaustion () =
 (* The determinism contract: at any pool width the scheduler commits the
    same waves, draws the same faults and produces the same bytes.  Run
    the plan at workers = 1, 2 and 8 and require byte-identical outputs
-   plus identical retry/loss accounting. *)
+   plus identical retry/loss accounting.  [~oversubscribe:true] defeats
+   the engine's hardware-parallelism cap so the multi-domain paths are
+   exercised even on a single-core host. *)
 let worker_matrix ?faults ~machines catalog dag plan =
   let run workers =
-    Sexec.Validate.check ?faults ~machines ~workers catalog dag plan
+    Sexec.Validate.check ?faults ~oversubscribe:true ~machines ~workers
+      catalog dag plan
   in
   let base = run 1 in
   if not base.Sexec.Validate.ok then
@@ -380,6 +381,106 @@ let worker_matrix ?faults ~machines catalog dag plan =
         base.Sexec.Validate.attempts v.Sexec.Validate.attempts)
     [ 2; 8 ];
   base.Sexec.Validate.counters.Sexec.Engine.retries
+
+(* --- batch-size invariance ------------------------------------------------ *)
+
+(* The framing contract of the columnar executor: batch size only chunks
+   streams, it never reorders or regroups rows, so any batch size must
+   reproduce the row engine's bytes exactly — and fault draws happen per
+   stage completion, so the retry/loss schedule cannot shift either.
+   Run the plan over the full batch-size × worker matrix and require
+   byte-identical outputs plus identical per-stage attempts against a
+   default-batch-size sequential baseline. *)
+let batch_sizes = [ 1; 7; 64; 4096 ]
+
+let batch_matrix ?faults ?(workers_list = [ 1; 2; 8 ]) ~machines catalog dag
+    plan =
+  let run ~workers ~batch_size =
+    Sexec.Validate.check ?faults ~oversubscribe:true ~machines ~workers
+      ~batch_size catalog dag plan
+  in
+  let base =
+    run ~workers:1 ~batch_size:Sexec.Engine.default_batch_size
+  in
+  if not base.Sexec.Validate.ok then
+    Alcotest.failf "baseline: %s"
+      (String.concat "; " base.Sexec.Validate.mismatches);
+  List.iter
+    (fun batch_size ->
+      List.iter
+        (fun workers ->
+          let v = run ~workers ~batch_size in
+          if not v.Sexec.Validate.ok then
+            Alcotest.failf "batch_size=%d workers=%d: %s" batch_size workers
+              (String.concat "; " v.Sexec.Validate.mismatches);
+          if
+            not
+              (Sexec.Validate.identical_outputs base.Sexec.Validate.outputs
+                 v.Sexec.Validate.outputs)
+          then
+            Alcotest.failf
+              "batch_size=%d workers=%d: outputs diverge from baseline"
+              batch_size workers;
+          Alcotest.(check (array int))
+            (Printf.sprintf "attempts identical at batch_size=%d workers=%d"
+               batch_size workers)
+            base.Sexec.Validate.attempts v.Sexec.Validate.attempts)
+        workers_list)
+    batch_sizes;
+  base.Sexec.Validate.counters.Sexec.Engine.retries
+
+let test_batch_builtins () =
+  List.iter
+    (fun (_, script) ->
+      List.iter
+        (fun cse ->
+          let catalog, dag, plan = optimize ~cse script in
+          ignore (batch_matrix ~machines:6 catalog dag plan);
+          ignore
+            (batch_matrix
+               ~faults:(Sexec.Faults.spec ~rate:0.3 23)
+               ~machines:6 catalog dag plan))
+        [ true; false ])
+    (Sworkload.Paper_scripts.all
+    @ [ ("IND", Sworkload.Paper_scripts.independent_pair) ])
+
+let test_batch_random_scripts () =
+  let retries = ref 0 in
+  for seed = 1 to 25 do
+    let script = Sworkload.Random_gen.generate ~seed ~statements:6 () in
+    let catalog = Sworkload.Random_gen.catalog () in
+    let r = Cse.Pipeline.run ~catalog script in
+    let dag = r.Cse.Pipeline.dag and plan = r.Cse.Pipeline.cse_plan in
+    ignore (batch_matrix ~machines:5 catalog dag plan);
+    retries :=
+      !retries
+      + batch_matrix
+          ~faults:(Sexec.Faults.spec ~rate:0.4 (seed + 4000))
+          ~machines:5 catalog dag plan
+  done;
+  Alcotest.(check bool) "recoveries exercised across batch sizes" true
+    (!retries > 0)
+
+let test_batch_large_scripts () =
+  let retries = ref 0 in
+  List.iter
+    (fun script ->
+      let catalog = Relalg.Catalog.default () in
+      Sworkload.Large_gen.register_files catalog script;
+      let r = Cse.Pipeline.run ~catalog script in
+      let dag = r.Cse.Pipeline.dag and plan = r.Cse.Pipeline.cse_plan in
+      (* the large stage graphs dominate suite runtime: exercise every
+         batch size but one worker width per size (2, the cheapest width
+         that still runs the multi-domain paths) *)
+      ignore (batch_matrix ~workers_list:[ 2 ] ~machines:9 catalog dag plan);
+      retries :=
+        !retries
+        + batch_matrix ~workers_list:[ 2 ]
+            ~faults:(Sexec.Faults.spec ~rate:0.1 ~max_attempts:64 5)
+            ~machines:9 catalog dag plan)
+    [ Sworkload.Large_gen.ls1 (); Sworkload.Large_gen.ls2 () ];
+  Alcotest.(check bool) "recoveries exercised across batch sizes" true
+    (!retries > 0)
 
 let test_parallel_builtins () =
   List.iter
@@ -519,6 +620,15 @@ let () =
             test_faults_large_scripts;
           Alcotest.test_case "fault determinism" `Quick test_faults_deterministic;
           Alcotest.test_case "recovery budget" `Quick test_faults_budget_exhaustion;
+        ] );
+      ( "batch invariance",
+        [
+          Alcotest.test_case "builtins across batch sizes" `Slow
+            test_batch_builtins;
+          Alcotest.test_case "random scripts across batch sizes" `Slow
+            test_batch_random_scripts;
+          Alcotest.test_case "large scripts across batch sizes" `Slow
+            test_batch_large_scripts;
         ] );
       ( "worker determinism",
         [
