@@ -542,6 +542,9 @@ let serve_bench ~workers () =
         | Sserve.Session.Catalog_bump ->
             flush ();
             ignore (Sserve.Engine.catalog_bump engine)
+        | Sserve.Session.Tenant _ | Sserve.Session.Stats
+        | Sserve.Session.Dump ->
+            ()
         | Sserve.Session.Quit -> flush ())
       items;
     (Unix.gettimeofday () -. t0, List.rev !batches)

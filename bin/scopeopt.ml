@@ -174,6 +174,17 @@ let trace_arg =
            ui.perfetto.dev.  Executed stages are cross-checked against \
            the trace (SA045).")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile-kernels" ]
+        ~doc:
+          "Record per-kernel batch-processing time histograms \
+           (exec.kernel_seconds, labeled by kernel and stage) during \
+           execution.  Off by default: the disabled path is a single \
+           atomic load per kernel invocation and outputs are \
+           byte-identical either way.")
+
 let audit_arg =
   Arg.(
     value & flag
@@ -306,8 +317,9 @@ let finish_trace ?(ppf = Fmt.stdout) ~attempts path =
 
 let optimize run_exec =
   let f machines budget no_ext no_prune verbose audit dot inject rate workers
-      batch_size trace script =
+      batch_size trace profile script =
     setup_logs verbose;
+    Sexec.Profile.set profile;
     if trace <> None then Sobs.Trace.start ();
     let attempts_acc = ref [] in
     let catalog = make_catalog script in
@@ -398,6 +410,8 @@ let optimize run_exec =
                   if vf.Sexec.Validate.ok && identical then Ok ()
                   else Error (`Msg "fault-injected execution diverged"))
         in
+        if profile then
+          Fmt.pr "%s" (Sobs.Metrics.to_prom (Sexec.Profile.snapshot ()));
         if not v.Sexec.Validate.ok then Error (`Msg "execution mismatch")
         else injected
       end
@@ -421,12 +435,12 @@ let optimize run_exec =
   in
   Term.(
     term_result
-      (const (fun m b e np v a d i p w bs t file builtin ->
+      (const (fun m b e np v a d i p w bs t pk file builtin ->
            Result.bind (read_script file builtin)
-             (guard (f m b e np v a d i p w bs t)))
+             (guard (f m b e np v a d i p w bs t pk)))
       $ machines_arg $ budget_arg $ no_ext_arg $ no_prune_arg $ verbose_arg
       $ audit_arg $ dot_arg $ inject_arg $ rate_arg $ workers_arg
-      $ batch_size_arg $ trace_arg $ file_arg $ builtin_arg))
+      $ batch_size_arg $ trace_arg $ profile_arg $ file_arg $ builtin_arg))
 
 let optimize_cmd =
   Cmd.v
@@ -471,9 +485,9 @@ let serve_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit one run report as JSON (schema scopecse-run-report/4, \
-             with the serve section) on stdout; the per-batch narration \
-             moves to stderr.")
+            "Emit one run report as JSON (schema scopecse-run-report/5, \
+             with the serve and metrics sections) on stdout; the \
+             per-batch narration moves to stderr.")
   in
   let trace_prefix_arg =
     Arg.(
@@ -486,17 +500,76 @@ let serve_cmd =
              and cross-checked against that batch's stage attempts \
              (SA045).")
   in
+  let stats_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-file" ] ~docv:"PATH"
+          ~doc:
+            "Rewrite $(docv) with a JSON metrics snapshot (the engine's \
+             registry plus any kernel profile) after every \
+             --stats-interval batches and at exit — live stats exposition \
+             for a watching scraper.")
+  in
+  let stats_interval_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "stats-interval" ] ~docv:"N"
+          ~doc:"Batches between --stats-file rewrites (default every batch.)")
+  in
+  let serve_inject_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-faults" ] ~docv:"SEED"
+          ~doc:
+            "Execute every batch under deterministic fault injection \
+             seeded with $(docv) (rate from --fault-rate).  Lost \
+             partitions are recovered by recomputing stages; when a \
+             stage exhausts its attempt budget the flight recorder is \
+             dumped and serve exits non-zero.")
+  in
   let f machines workers batch_size no_ext no_prune verbose audit json trace
-      budget gen seed file =
+      budget gen seed stats_file stats_interval profile inject rate file =
     setup_logs verbose;
+    Sexec.Profile.set profile;
     let out = if json then Fmt.epr else Fmt.pr in
     let catalog = Relalg.Catalog.default () in
     Sworkload.Session_gen.register catalog;
     let cluster = Scost.Cluster.with_machines machines Scost.Cluster.default in
     let config = base_config ~no_ext ~no_prune in
+    let faults =
+      match inject with
+      | None -> Ok None
+      | Some seed -> (
+          match Sexec.Faults.spec ~rate seed with
+          | exception Invalid_argument msg -> Error (`Msg msg)
+          | spec -> Ok (Some spec))
+    in
+    Result.bind faults @@ fun faults ->
     let engine =
       Sserve.Engine.create ~config ?max_seconds:budget ~cluster ~workers
-        ~batch_size catalog
+        ~batch_size ?faults catalog
+    in
+    (* The flight recorder rides in the trace ring whenever no explicit
+       --trace session owns the tracer. *)
+    if trace = None then Sobs.Flight.enable ();
+    let stats_rows () =
+      Sobs.Metrics.snapshot (Sserve.Engine.metrics engine)
+      @ Sexec.Profile.snapshot ()
+    in
+    let stats_json () =
+      Sobs.Json.to_string (Sobs.Metrics.to_json (stats_rows ()))
+    in
+    let write_stats () =
+      Option.iter (fun path -> write_file path (stats_json ())) stats_file
+    in
+    let flight_dump reason =
+      match Sobs.Flight.dump ~metrics:(stats_json ()) ~prefix:"scopeopt-serve" () with
+      | paths ->
+          out "flight recorder dumped (%s): %s@." reason
+            (String.concat ", " paths)
+      | exception Sys_error msg -> out "flight dump failed: %s@." msg
     in
     let next =
       match (gen, file) with
@@ -523,6 +596,8 @@ let serve_cmd =
     Result.bind next (fun next ->
         let failed = ref 0 and audit_failed = ref 0 and trace_failed = ref 0 in
         let batch_json = ref [] in
+        let batches_done = ref 0 in
+        let tenant = ref None in
         let flush () =
           match Sserve.Engine.flush engine with
           | None -> ()
@@ -586,7 +661,7 @@ let serve_cmd =
                       <> 0
                     then incr audit_failed)
                   b.Sserve.Engine.reports;
-              if json then
+              (if json then
                 let num f = Sobs.Json.Num f in
                 let int i = num (float_of_int i) in
                 let opt = function None -> Sobs.Json.Null | Some c -> num c in
@@ -644,7 +719,9 @@ let serve_cmd =
                                      ]))
                              b.Sserve.Engine.results) );
                     ]
-                  :: !batch_json
+                  :: !batch_json);
+              incr batches_done;
+              if !batches_done mod max 1 stats_interval = 0 then write_stats ()
         in
         let rec loop () =
           match next () with
@@ -652,10 +729,19 @@ let serve_cmd =
           | Some (Sserve.Session.Script { id; text }) ->
               if trace <> None && Sserve.Engine.pending_count engine = 0 then
                 Sobs.Trace.start ();
-              Sserve.Engine.submit engine ~id ~text;
+              Sserve.Engine.submit ?tenant:!tenant engine ~id ~text;
               loop ()
           | Some Sserve.Session.Flush ->
               flush ();
+              loop ()
+          | Some (Sserve.Session.Tenant name) ->
+              tenant := Some name;
+              loop ()
+          | Some Sserve.Session.Stats ->
+              out "%s@?" (Sobs.Metrics.to_prom (stats_rows ()));
+              loop ()
+          | Some Sserve.Session.Dump ->
+              flight_dump "#dump";
               loop ()
           | Some Sserve.Session.Catalog_bump ->
               flush ();
@@ -668,8 +754,23 @@ let serve_cmd =
           | Some Sserve.Session.Quit -> flush ()
         in
         match loop () with
-        | exception Sserve.Session.Protocol_error msg -> Error (`Msg msg)
+        | exception Sserve.Session.Protocol_error msg ->
+            write_stats ();
+            Error (`Msg msg)
+        | exception Sexec.Scheduler.Recovery_exhausted { stage; attempts } ->
+            (* a stage burned its whole attempt budget: dump the recent-
+               span window and the metrics so the post-mortem needs no
+               rerun, then fail loudly *)
+            flight_dump "recovery exhaustion";
+            write_stats ();
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "stage %d exhausted its recovery budget after %d \
+                    attempt(s); flight recorder dumped"
+                   stage attempts))
         | () ->
+            write_stats ();
             let t = Sserve.Engine.totals engine in
             out
               "serve: sessions=%d batches=%d cache_hits=%d cache_misses=%d \
@@ -687,7 +788,7 @@ let serve_cmd =
                    (Sobs.Json.Obj
                       [
                         ( "schema",
-                          Sobs.Json.Str "scopecse-run-report/4" );
+                          Sobs.Json.Str "scopecse-run-report/5" );
                         ("machines", int machines);
                         ( "serve",
                           Sobs.Json.Obj
@@ -707,10 +808,27 @@ let serve_cmd =
                               ( "batches_detail",
                                 Sobs.Json.Arr (List.rev !batch_json) );
                             ] );
+                        ( "metrics",
+                          Sobs.Metrics.to_json (stats_rows ()) );
                       ]))
+            end;
+            (* hold the engine's own registry to its accounting story
+               (SA046); an inconsistent snapshot is a serve failure, with
+               the flight window dumped for the post-mortem *)
+            let sa46 =
+              Sanalysis.Serve_audit.run
+                ~cache_entries:
+                  (Sserve.Plan_cache.size (Sserve.Engine.cache engine))
+                (Sobs.Metrics.snapshot (Sserve.Engine.metrics engine))
+            in
+            if sa46 <> [] then begin
+              out "%a" Sanalysis.Diag.pp_report sa46;
+              flight_dump "SA046 metrics audit failure"
             end;
             if !failed > 0 then
               Error (`Msg (Printf.sprintf "%d session(s) failed" !failed))
+            else if sa46 <> [] then
+              Error (`Msg "serve metrics audit (SA046) failed")
             else if !audit_failed > 0 then
               Error
                 (`Msg (Printf.sprintf "%d audit failure(s)" !audit_failed))
@@ -732,7 +850,9 @@ let serve_cmd =
       term_result
         (const f $ machines_arg $ workers_arg $ batch_size_arg $ no_ext_arg
        $ no_prune_arg $ verbose_arg $ audit_arg $ json_arg $ trace_prefix_arg
-       $ budget_arg $ gen_arg $ seed_arg $ file_arg))
+       $ budget_arg $ gen_arg $ seed_arg $ stats_file_arg
+       $ stats_interval_arg $ profile_arg $ serve_inject_arg $ rate_arg
+       $ file_arg))
 
 (* --- report ------------------------------------------------------------ *)
 
@@ -743,6 +863,7 @@ let json_of_hist (s : Sobs.Hist.summary) =
       ("sum", Sobs.Json.Num s.Sobs.Hist.sum);
       ("p50", Sobs.Json.Num s.Sobs.Hist.p50);
       ("p90", Sobs.Json.Num s.Sobs.Hist.p90);
+      ("min", Sobs.Json.Num s.Sobs.Hist.min);
       ("max", Sobs.Json.Num s.Sobs.Hist.max);
       ( "buckets",
         Sobs.Json.Arr
@@ -753,7 +874,7 @@ let json_of_hist (s : Sobs.Hist.summary) =
              s.Sobs.Hist.buckets) );
     ]
 
-(* The machine-readable run report.  Schema "scopecse-run-report/4":
+(* The machine-readable run report.  Schema "scopecse-run-report/5":
    optimization costs and task counts from the pipeline report — since /2
    including the round-pruning tallies (rounds_pruned,
    rounds_aborted_bound, phase2_winner_reuse_hits) — the execution
@@ -763,8 +884,13 @@ let json_of_hist (s : Sobs.Hist.summary) =
    cache and cross-script sharing figures); single-script reports omit
    it.  /4 adds the vectorized executor's batch figures to "execution"
    (batch_size, batches; the rows-per-batch histogram rides along in
-   "histograms" as exec.batch_rows).  Documented in README.md; new
-   fields may be added, existing ones keep their meaning. *)
+   "histograms" as exec.batch_rows).  /5 adds "min" to histogram
+   summaries, the "kernel_profile" metrics rows (per-kernel
+   batch-processing time histograms labeled by kernel and stage; empty
+   unless --profile-kernels) and, on serve reports, the "metrics"
+   section (the engine's structured registry snapshot).  Documented in
+   README.md; new fields may be added, existing ones keep their
+   meaning. *)
 let json_report ~machines ~workers (r : Cse.Pipeline.report)
     (v : Sexec.Validate.outcome) ~counters =
   let num f = Sobs.Json.Num f in
@@ -785,7 +911,7 @@ let json_report ~machines ~workers (r : Cse.Pipeline.report)
   let exec_sum = exec_summary workers v in
   Sobs.Json.Obj
     [
-      ("schema", Sobs.Json.Str "scopecse-run-report/4");
+      ("schema", Sobs.Json.Str "scopecse-run-report/5");
       ("machines", int machines);
       ( "optimization",
         Sobs.Json.Obj
@@ -838,6 +964,7 @@ let json_report ~machines ~workers (r : Cse.Pipeline.report)
         Sobs.Json.Obj
           (List.map (fun (n, s) -> (n, json_of_hist s)) (Sobs.Hist.snapshot ()))
       );
+      ("kernel_profile", Sobs.Metrics.to_json (Sexec.Profile.snapshot ()));
     ]
 
 let report_cmd =
@@ -846,12 +973,13 @@ let report_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit the run report as JSON (schema scopecse-run-report/4) \
+            "Emit the run report as JSON (schema scopecse-run-report/5) \
              instead of the human-readable summary.")
   in
-  let f machines budget no_ext no_prune verbose workers batch_size trace json
-      script =
+  let f machines budget no_ext no_prune verbose workers batch_size trace
+      profile json script =
     setup_logs verbose;
+    Sexec.Profile.set profile;
     if trace <> None then Sobs.Trace.start ();
     let counters_before = Sutil.Counters.baseline () in
     let catalog = make_catalog script in
@@ -880,7 +1008,9 @@ let report_cmd =
       Fmt.pr "%a" Cse.Pipeline.pp_steps r;
       Fmt.pr "%a" Cse.Pipeline.pp_exec (exec_summary workers v);
       Fmt.pr "%a" Cse.Pipeline.pp_counters counters;
-      Fmt.pr "%a" Sobs.Hist.pp ()
+      Fmt.pr "%a" Sobs.Hist.pp ();
+      if profile then
+        Fmt.pr "%s" (Sobs.Metrics.to_prom (Sexec.Profile.snapshot ()))
     end;
     if not v.Sexec.Validate.ok then Error (`Msg "execution mismatch")
     else trace_result
@@ -894,12 +1024,12 @@ let report_cmd =
           form)")
     Term.(
       term_result
-        (const (fun m b e np v w bs t j file builtin ->
+        (const (fun m b e np v w bs t pk j file builtin ->
              Result.bind (read_script file builtin)
-               (guard (f m b e np v w bs t j)))
+               (guard (f m b e np v w bs t pk j)))
         $ machines_arg $ budget_arg $ no_ext_arg $ no_prune_arg $ verbose_arg
-        $ workers_arg $ batch_size_arg $ trace_arg $ json_arg $ file_arg
-        $ builtin_arg))
+        $ workers_arg $ batch_size_arg $ trace_arg $ profile_arg $ json_arg
+        $ file_arg $ builtin_arg))
 
 (* --- check-trace -------------------------------------------------------- *)
 
@@ -909,17 +1039,21 @@ let check_trace_cmd =
     let n = in_channel_length ic in
     let s = really_input_string ic n in
     close_in ic;
-    match Sobs.Trace.parse_chrome s with
+    match Sobs.Trace.parse_doc s with
     | exception Sobs.Trace.Malformed msg -> Error (`Msg msg)
-    | events -> (
-        match Sobs.Trace.check events with
+    | (ring, events) -> (
+        match Sobs.Trace.check ~ring events with
         | [] ->
             let tids =
               List.sort_uniq compare
                 (List.map (fun (e : Sobs.Trace.event) -> e.Sobs.Trace.tid)
                    events)
             in
-            Fmt.pr "trace OK: %d events across %d worker(s)@."
+            Fmt.pr "trace OK%s: %d events across %d worker(s)@."
+              (if ring then
+                 " (flight-recorder ring; dropped-oldest truncation \
+                  tolerated)"
+               else "")
               (List.length events) (List.length tids);
             Ok ()
         | errs ->
@@ -932,8 +1066,11 @@ let check_trace_cmd =
   Cmd.v
     (Cmd.info "check-trace"
        ~doc:
-         "Parse a Chrome trace-event file written by --trace and check its \
-          well-formedness (balanced spans, per-worker monotone timestamps)")
+         "Parse a Chrome trace-event file written by --trace or dumped by \
+          the flight recorder and check its well-formedness (balanced \
+          spans, per-worker monotone timestamps; ring-flagged dumps \
+          tolerate the truncation artifacts of overwriting the oldest \
+          events, and nothing else)")
     Term.(
       term_result
         (const f

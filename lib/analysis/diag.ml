@@ -65,6 +65,8 @@ let catalog =
     e "SA044" Error "stages" "stage not reachable from the sink through dependencies";
     (* trace audit *)
     e "SA045" Error "trace" "executed stage missing from or duplicated in the trace";
+    (* serve metrics audit *)
+    e "SA046" Error "serve" "serve metrics snapshot inconsistent with engine accounting";
     (* cross-layer semantic equivalence (deep audit) *)
     e "SA050" Error "cross-layer" "physical output not equivalent to its logical output (canonical forms differ)";
     e "SA051" Error "cross-layer" "physical plan shape has no canonical logical interpretation";

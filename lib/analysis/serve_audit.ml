@@ -1,0 +1,102 @@
+(* Serve metrics auditor: holds a serve engine's metrics snapshot to its
+   own accounting invariants (SA046).
+
+   The serve engine promises that its per-engine registry tells one
+   coherent story: every submission lands in [serve.sessions_submitted];
+   a session either fails ([serve.sessions_failed]) or is classified as
+   exactly one of [serve.cache_hits] / [serve.cache_misses]; every
+   served session observes exactly one latency histogram path
+   ([serve.session_seconds{path=hit|share|miss}], hit sessions on the
+   hit path); and the [serve.cache_size] gauge equals the plan cache's
+   actual entry count at snapshot time.  A snapshot that breaks any of
+   these means double- or under-counted telemetry — dashboards built on
+   it would misattribute latency or lose sessions.
+
+   The pass takes plain snapshot rows plus the cache's entry count, so
+   it needs nothing from the serve layer and synthetic snapshots can
+   exercise it directly in tests. *)
+
+let known_paths = [ "hit"; "share"; "miss" ]
+
+(* Counters with [name], summed across label sets. *)
+let counter_of rows name =
+  List.fold_left
+    (fun acc (r : Sobs.Metrics.row) ->
+      match r.Sobs.Metrics.value with
+      | Sobs.Metrics.Count c when r.Sobs.Metrics.name = name -> acc + c
+      | _ -> acc)
+    0 rows
+
+let gauge_of rows name =
+  List.find_map
+    (fun (r : Sobs.Metrics.row) ->
+      if r.Sobs.Metrics.name = name then
+        match r.Sobs.Metrics.value with
+        | Sobs.Metrics.Value v -> Some v
+        | _ -> None
+      else None)
+    rows
+
+(* [serve.session_seconds] series as (path label, observation count);
+   count -1 marks a series that is not a histogram at all. *)
+let latency_paths rows =
+  List.filter_map
+    (fun (r : Sobs.Metrics.row) ->
+      if r.Sobs.Metrics.name = "serve.session_seconds" then
+        let path =
+          Option.value ~default:"<unlabeled>"
+            (List.assoc_opt "path" r.Sobs.Metrics.labels)
+        in
+        match r.Sobs.Metrics.value with
+        | Sobs.Metrics.Dist s -> Some (path, s.Sobs.Hist.count)
+        | _ -> Some (path, -1)
+      else None)
+    rows
+
+let run ~cache_entries (rows : Sobs.Metrics.row list) : Diag.t list =
+  let diags = ref [] in
+  let bad fmt =
+    Fmt.kstr
+      (fun m ->
+        diags := Diag.make ~code:"SA046" ~loc:Diag.Whole m :: !diags)
+      fmt
+  in
+  let submitted = counter_of rows "serve.sessions_submitted" in
+  let failed = counter_of rows "serve.sessions_failed" in
+  let hits = counter_of rows "serve.cache_hits" in
+  let misses = counter_of rows "serve.cache_misses" in
+  let served = submitted - failed in
+  if hits + misses <> served then
+    bad
+      "cache hits (%d) + misses (%d) do not account for the %d served \
+       sessions (%d submitted - %d failed)"
+      hits misses served submitted failed;
+  let paths = latency_paths rows in
+  List.iter
+    (fun (path, count) ->
+      if count < 0 then
+        bad "serve.session_seconds{path=%s} is not a histogram" path
+      else if not (List.mem path known_paths) then
+        bad "latency histogram with unknown path label %S" path)
+    paths;
+  let observed = List.fold_left (fun acc (_, c) -> acc + max 0 c) 0 paths in
+  if observed <> served then
+    bad
+      "latency histograms hold %d observations but %d sessions were served \
+       (every served session must land in exactly one of hit/share/miss)"
+      observed served;
+  (let hit_count = Option.value ~default:0 (List.assoc_opt "hit" paths) in
+   if List.for_all (fun (_, c) -> c >= 0) paths && hit_count <> hits then
+     bad "hit-path latency count (%d) diverges from cache hits (%d)"
+       hit_count hits);
+  (match gauge_of rows "serve.cache_size" with
+  | None ->
+      if cache_entries > 0 then
+        bad "cache holds %d entries but no serve.cache_size gauge was recorded"
+          cache_entries
+  | Some g ->
+      if g <> float_of_int cache_entries then
+        bad "serve.cache_size gauge (%g) does not match the plan cache's %d \
+             entries"
+          g cache_entries);
+  List.rev !diags

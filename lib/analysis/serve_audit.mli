@@ -1,0 +1,13 @@
+(** Serve metrics auditor (SA046): checks a serve engine's metrics
+    snapshot for internal consistency — every served session classified
+    as exactly one of cache hit / miss, every served session observed in
+    exactly one latency path histogram (hit / share / miss, hit
+    sessions on the hit path), and the cache-size gauge agreeing with
+    the plan cache's actual entry count.
+
+    Takes plain {!Sobs.Metrics} snapshot rows so it depends on nothing
+    from the serve layer; callers pass
+    [Sobs.Metrics.snapshot (Sserve.Engine.metrics engine)] and
+    [Sserve.Plan_cache.size]. *)
+
+val run : cache_entries:int -> Sobs.Metrics.row list -> Diag.t list

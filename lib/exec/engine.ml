@@ -419,6 +419,9 @@ let check_delivered viols (n : Plan.t) (d : dist) =
 let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
     dist =
   let deps = ref st.Stage.deps in
+  (* stage label for the kernel profiler; [Profile.now]/[Profile.note]
+     are one atomic load and a branch when profiling is off *)
+  let sid = st.Stage.id in
   let rec eval (n : Plan.t) : dist =
     let d = eval_op n in
     if t.verify_props then check_delivered viols n d;
@@ -438,6 +441,7 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
     let schema = n.Plan.schema in
     match n.Plan.op with
     | Physop.P_extract { file; schema = fschema; _ } ->
+        let t0 = Profile.now () in
         let key = (Catalog.version t.catalog, file, fschema) in
         let rows, parts =
           Mutex.protect t.extract_mu (fun () ->
@@ -468,31 +472,44 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
                   built)
         in
         tally.t_extracted <- tally.t_extracted + rows;
+        Profile.note ~kernel:"extract" ~stage:sid t0;
         { schema = fschema; parts }
     | Physop.P_filter { pred } ->
         let d = eval_child (List.hd n.Plan.children) in
+        let t0 = Profile.now () in
         let cpred = Expr.compile d.schema pred in
-        map_parts pool
-          (fun bs ->
-            List.filter_map
-              (fun b ->
-                let b = Batch.filter cpred b in
-                if Batch.live b = 0 then None else Some b)
-              bs)
-          d schema
+        let r =
+          map_parts pool
+            (fun bs ->
+              List.filter_map
+                (fun b ->
+                  let b = Batch.filter cpred b in
+                  if Batch.live b = 0 then None else Some b)
+                bs)
+            d schema
+        in
+        Profile.note ~kernel:"filter" ~stage:sid t0;
+        r
     | Physop.P_project { items } ->
         let d = eval_child (List.hd n.Plan.children) in
+        let t0 = Profile.now () in
         let ces =
           Array.of_list
             (List.map (fun (e, _) -> Expr.compile d.schema e) items)
         in
-        map_parts pool (List.map (Batch.project schema ces)) d schema
+        let r = map_parts pool (List.map (Batch.project schema ces)) d schema in
+        Profile.note ~kernel:"project" ~stage:sid t0;
+        r
     | Physop.P_sort { order } ->
         let d = eval_child (List.hd n.Plan.children) in
+        let t0 = Profile.now () in
         let keys = sort_keys d.schema order in
-        map_parts pool (sort_part t.batch_size d.schema keys) d schema
+        let r = map_parts pool (sort_part t.batch_size d.schema keys) d schema in
+        Profile.note ~kernel:"sort" ~stage:sid t0;
+        r
     | Physop.P_stream_agg { keys; aggs; scope = _ } ->
         let d = eval_child (List.hd n.Plan.children) in
+        let t0 = Profile.now () in
         let key_idx =
           Array.of_list (List.map (fun k -> Schema.index k d.schema) keys)
         in
@@ -500,13 +517,18 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
         let cargs =
           Array.map (fun a -> Expr.compile d.schema a.Agg.arg) aggs_a
         in
-        map_parts pool
-          (fun bs ->
-            Batch.split ~size:t.batch_size
-              (Batch.stream_agg schema ~key_idx ~aggs:aggs_a ~cargs bs))
-          d schema
+        let r =
+          map_parts pool
+            (fun bs ->
+              Batch.split ~size:t.batch_size
+                (Batch.stream_agg schema ~key_idx ~aggs:aggs_a ~cargs bs))
+            d schema
+        in
+        Profile.note ~kernel:"aggregate" ~stage:sid t0;
+        r
     | Physop.P_hash_agg { keys; aggs; scope = _ } ->
         let d = eval_child (List.hd n.Plan.children) in
+        let t0 = Profile.now () in
         let key_idx =
           Array.of_list (List.map (fun k -> Schema.index k d.schema) keys)
         in
@@ -514,11 +536,15 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
         let cargs =
           Array.map (fun a -> Expr.compile d.schema a.Agg.arg) aggs_a
         in
-        map_parts pool
-          (fun bs ->
-            Batch.split ~size:t.batch_size
-              (Batch.hash_agg schema ~key_idx ~aggs:aggs_a ~cargs bs))
-          d schema
+        let r =
+          map_parts pool
+            (fun bs ->
+              Batch.split ~size:t.batch_size
+                (Batch.hash_agg schema ~key_idx ~aggs:aggs_a ~cargs bs))
+            d schema
+        in
+        Profile.note ~kernel:"aggregate" ~stage:sid t0;
+        r
     | Physop.P_merge_join { kind; pairs; residual }
     | Physop.P_hash_join { kind; pairs; residual } -> (
         match n.Plan.children with
@@ -532,6 +558,7 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
               | Slogical.Logop.Inner -> `Inner
               | Slogical.Logop.Left_outer -> `Left_outer
             in
+            let t0 = Profile.now () in
             let cpred =
               Expr.compile (l.schema @ r.schema)
                 (pred_of_pairs pairs residual)
@@ -547,6 +574,7 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
                 Array.init t.machines join_m
               else Sutil.Pool.parallel_init pool t.machines join_m
             in
+            Profile.note ~kernel:"join" ~stage:sid t0;
             { schema; parts }
         | _ -> invalid_arg "Engine: join expects two children")
     | Physop.P_union_all -> (
@@ -569,26 +597,37 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
         if not is_sink then
           invalid_arg "Engine: OUTPUT outside the sink stage";
         let d = eval_child (List.hd n.Plan.children) in
+        let t0 = Profile.now () in
         let rows =
           List.concat (List.init t.machines (fun m -> part_rows d m))
         in
         t.outputs_rev <- (file, Table.make d.schema rows) :: t.outputs_rev;
+        Profile.note ~kernel:"output" ~stage:sid t0;
         d
     | Physop.P_sequence ->
         List.iter (fun c -> ignore (eval_child c)) n.Plan.children;
         { schema = []; parts = empty_parts t }
     | Physop.P_exchange { cols } ->
         let d = eval_child (List.hd n.Plan.children) in
-        exchange_on pool ~machines:t.machines tally d cols
+        let t0 = Profile.now () in
+        let r = exchange_on pool ~machines:t.machines tally d cols in
+        Profile.note ~kernel:"exchange" ~stage:sid t0;
+        r
     | Physop.P_merge_exchange { cols } ->
         let d = eval_child (List.hd n.Plan.children) in
+        let t0 = Profile.now () in
         let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
         let ex = exchange_on pool ~machines:t.machines tally d cols in
         (* merge the sorted runs: re-sorting each partition is equivalent *)
         let keys = sort_keys ex.schema child_sort in
-        map_parts pool (sort_part t.batch_size ex.schema keys) ex ex.schema
+        let r =
+          map_parts pool (sort_part t.batch_size ex.schema keys) ex ex.schema
+        in
+        Profile.note ~kernel:"exchange" ~stage:sid t0;
+        r
     | Physop.P_gather ->
         let d = eval_child (List.hd n.Plan.children) in
+        let t0 = Profile.now () in
         let all = List.concat (Array.to_list d.parts) in
         let child_sort = (List.hd n.Plan.children).Plan.props.Props.sort in
         let all =
@@ -600,6 +639,7 @@ let execute_stage t ~pool ~tally ~viols ~is_sink (st : Stage.stage) ~read :
         let parts = empty_parts t in
         parts.(0) <- all;
         tally.t_shuffled <- tally.t_shuffled + part_live all;
+        Profile.note ~kernel:"gather" ~stage:sid t0;
         { schema = d.schema; parts }
   in
   let d = eval st.Stage.root in

@@ -1,0 +1,26 @@
+(** Per-kernel batch-time profiling for the vectorized executor.
+
+    Disabled by default; every disabled entry point is one atomic load
+    and a branch — no allocation, no clock read — so the hooks stay in
+    the executor's kernel branches at zero production cost.  Enabled
+    ([--profile-kernels]), each kernel execution lands its wall seconds
+    in an [exec.kernel_seconds] histogram labeled [kernel] and [stage]
+    in a process-global {!Sobs.Metrics} registry.  Profiling never
+    changes outputs or counters. *)
+
+val enabled : unit -> bool
+
+val set : bool -> unit
+
+(** Timestamp for a kernel about to run; [0.0] (no clock read, no
+    allocation) when disabled. *)
+val now : unit -> float
+
+(** Record wall seconds since [t0] for one kernel execution of a stage.
+    No-op when disabled. *)
+val note : kernel:string -> stage:int -> float -> unit
+
+(** The profiling registry's rows (empty until enabled and exercised). *)
+val snapshot : unit -> Sobs.Metrics.row list
+
+val reset : unit -> unit

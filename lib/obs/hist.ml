@@ -4,13 +4,17 @@
    Observations land in power-of-two buckets chosen by the float's
    binary exponent ([Float.frexp]) — one array index computation, no
    allocation, no comparison ladder.  Buckets are [int Atomic.t]
-   increments; the running sum and max are CAS loops over boxed float
-   atomics.  All of it is safe to call concurrently from pool workers.
+   increments; the running sum, min and max are CAS loops over boxed
+   float atomics.  All of it is safe to call concurrently from pool
+   workers.
 
    Quantiles are read from the cumulative bucket counts and reported as
    the matched bucket's upper bound — an overestimate by at most 2x,
    which is the usual contract for log-bucketed histograms and plenty
-   for "where did the time go" questions. *)
+   for "where did the time go" questions.  The tracked extremes are
+   exact, and quantiles are clamped into [min, max]: an empty histogram
+   reports 0 everywhere, and a single observation reports itself as
+   both p50 and p90 rather than its bucket's boundary. *)
 
 (* Bucket [k] covers [2^(k-41), 2^(k-40)); k = frexp exponent + 40,
    clamped.  Bucket 0 also absorbs zero and negative observations. *)
@@ -29,6 +33,7 @@ type t = {
   name : string;
   buckets : int Atomic.t array;
   sum : float Atomic.t;
+  minv : float Atomic.t;
   maxv : float Atomic.t;
 }
 
@@ -37,9 +42,19 @@ type summary = {
   sum : float;
   p50 : float;
   p90 : float;
+  min : float;
   max : float;
   buckets : (float * int) list;  (* nonzero buckets: upper bound, count *)
 }
+
+let make name =
+  {
+    name;
+    buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+    sum = Atomic.make 0.0;
+    minv = Atomic.make infinity;
+    maxv = Atomic.make neg_infinity;
+  }
 
 let mu = Mutex.create ()
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
@@ -49,14 +64,7 @@ let hist name =
       match Hashtbl.find_opt registry name with
       | Some h -> h
       | None ->
-          let h =
-            {
-              name;
-              buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
-              sum = Atomic.make 0.0;
-              maxv = Atomic.make neg_infinity;
-            }
-          in
+          let h = make name in
           Hashtbl.add registry name h;
           h)
 
@@ -66,8 +74,13 @@ let rec cas_update a f =
   if next <> cur && not (Atomic.compare_and_set a cur next) then cas_update a f
 
 let observe (h : t) v =
+  (* a NaN or infinite observation would poison the CAS-maintained
+     extremes (Float.max nan _ = nan) and with them every later
+     quantile; clamp it to the lowest bucket's value instead *)
+  let v = if Float.is_finite v then v else 0.0 in
   Atomic.incr h.buckets.(bucket_of v);
   cas_update h.sum (fun s -> s +. v);
+  cas_update h.minv (fun m -> Float.min m v);
   cas_update h.maxv (fun m -> Float.max m v)
 
 let name h = h.name
@@ -75,13 +88,13 @@ let name h = h.name
 let summarize (h : t) =
   let counts = Array.map Atomic.get h.buckets in
   let count = Array.fold_left ( + ) 0 counts in
-  let max =
-    let m = Atomic.get h.maxv in
-    if Float.is_finite m then m else 0.0
-  in
-  let quantile q =
-    if count = 0 then 0.0
-    else begin
+  if count = 0 then
+    { count = 0; sum = 0.0; p50 = 0.0; p90 = 0.0; min = 0.0; max = 0.0; buckets = [] }
+  else begin
+    let finite_or v fallback = if Float.is_finite v then v else fallback in
+    let max = finite_or (Atomic.get h.maxv) 0.0 in
+    let min = finite_or (Atomic.get h.minv) 0.0 in
+    let quantile q =
       let target = Float.to_int (Float.round (q *. float_of_int count)) in
       let target = Stdlib.max 1 (Stdlib.min count target) in
       let k = ref 0 and cum = ref 0 in
@@ -89,21 +102,31 @@ let summarize (h : t) =
         cum := !cum + counts.(!k);
         if !cum < target then incr k
       done;
-      Float.min max (upper_bound !k)
-    end
-  in
-  let buckets = ref [] in
-  for k = nbuckets - 1 downto 0 do
-    if counts.(k) > 0 then buckets := (upper_bound k, counts.(k)) :: !buckets
-  done;
-  {
-    count;
-    sum = Atomic.get h.sum;
-    p50 = quantile 0.5;
-    p90 = quantile 0.9;
-    max;
-    buckets = !buckets;
-  }
+      (* the bucket bound is only an upper estimate; the tracked extremes
+         are exact, so no quantile may leave [min, max] — and with one
+         observation both quantiles collapse to that exact value *)
+      Float.max min (Float.min max (upper_bound !k))
+    in
+    let buckets = ref [] in
+    for k = nbuckets - 1 downto 0 do
+      if counts.(k) > 0 then buckets := (upper_bound k, counts.(k)) :: !buckets
+    done;
+    {
+      count;
+      sum = Atomic.get h.sum;
+      p50 = quantile 0.5;
+      p90 = quantile 0.9;
+      min;
+      max;
+      buckets = !buckets;
+    }
+  end
+
+let reset (h : t) =
+  Array.iter (fun b -> Atomic.set b 0) h.buckets;
+  Atomic.set h.sum 0.0;
+  Atomic.set h.minv infinity;
+  Atomic.set h.maxv neg_infinity
 
 let snapshot () =
   let hs = Mutex.protect mu (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) registry []) in
@@ -114,13 +137,7 @@ let snapshot () =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset_all () =
-  Mutex.protect mu (fun () ->
-      Hashtbl.iter
-        (fun _ (h : t) ->
-          Array.iter (fun b -> Atomic.set b 0) h.buckets;
-          Atomic.set h.sum 0.0;
-          Atomic.set h.maxv neg_infinity)
-        registry)
+  Mutex.protect mu (fun () -> Hashtbl.iter (fun _ h -> reset h) registry)
 
 let pp ppf () =
   let snap = snapshot () in

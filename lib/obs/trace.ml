@@ -20,7 +20,14 @@
 
    A buffer that reaches its capacity drops further events (counted, and
    reported by [dropped]) rather than overwriting old ones: dropping the
-   newest keeps already-recorded spans balanced. *)
+   newest keeps already-recorded spans balanced.
+
+   In *ring* mode ([start ~ring:true], the flight recorder) the policy
+   flips: a full buffer overwrites its oldest event instead, so a
+   long-running serve process always holds the most recent window of
+   activity for a post-mortem dump.  Ring truncation may orphan the
+   [End] events whose [Begin] was overwritten — the checker accepts
+   exactly that shape under [~ring:true] (see [check]). *)
 
 type arg = Str of string | Int of int | Float of float
 
@@ -63,12 +70,18 @@ type buf = {
   mutable tid : int;
   mutable evs : event array;
   mutable n : int;
+  mutable head : int;  (* ring mode: oldest slot once the buffer is full *)
   mutable last_ts : float;
   mutable dropped : int;
 }
 
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
+
+(* Ring mode: full buffers overwrite their oldest event (flight
+   recorder) instead of dropping the newest. *)
+let ring_flag = Atomic.make false
+let ring () = Atomic.get ring_flag
 
 let mu = Mutex.create ()
 let generation = ref 0
@@ -83,6 +96,7 @@ let buf_key : buf Domain.DLS.key =
         tid = 0;
         evs = [||];
         n = 0;
+        head = 0;
         last_ts = 0.0;
         dropped = 0;
       })
@@ -97,6 +111,7 @@ let my_buf () =
     b.tid <- Sutil.Pool.current_slot ();
     b.evs <- [||];
     b.n <- 0;
+    b.head <- 0;
     b.last_ts <- 0.0;
     b.dropped <- 0;
     Mutex.protect mu (fun () -> registry := b :: !registry)
@@ -107,7 +122,18 @@ let now_us () = (Unix.gettimeofday () -. !started_at) *. 1e6
 
 let append kind ~pid name args =
   let b = my_buf () in
-  if b.n >= !capacity then b.dropped <- b.dropped + 1
+  if b.n >= !capacity then
+    if Atomic.get ring_flag then begin
+      (* overwrite the oldest event; the buffer is exactly [capacity]
+         long once full (growth is capped there), [head] is the oldest
+         slot and the overwritten event counts as dropped *)
+      let ts = Float.max (now_us ()) b.last_ts in
+      b.last_ts <- ts;
+      b.evs.(b.head) <- { kind; name; pid; tid = b.tid; ts; args };
+      b.head <- (b.head + 1) mod Array.length b.evs;
+      b.dropped <- b.dropped + 1
+    end
+    else b.dropped <- b.dropped + 1
   else begin
     if b.n >= Array.length b.evs then begin
       let len = max 1024 (min !capacity (2 * Array.length b.evs)) in
@@ -139,12 +165,13 @@ let with_span ~pid ?args name f =
 
 (* --- control ----------------------------------------------------------- *)
 
-let start ?capacity:(cap = 1 lsl 18) () =
+let start ?capacity:(cap = 1 lsl 18) ?(ring = false) () =
   Mutex.protect mu (fun () ->
       incr generation;
       registry := [];
       capacity := max 1024 cap;
       started_at := Unix.gettimeofday ());
+  Atomic.set ring_flag ring;
   Atomic.set enabled_flag true
 
 let stop () = Atomic.set enabled_flag false
@@ -171,9 +198,15 @@ let dropped () =
    have been joined (the pool's [with_pool] has returned). *)
 let collect () =
   let bufs = Mutex.protect mu (fun () -> List.rev !registry) in
-  let all =
-    List.concat_map (fun b -> Array.to_list (Array.sub b.evs 0 b.n)) bufs
+  (* a wrapped ring buffer holds its oldest event at [head]; unwrap so
+     the per-buffer stream is in recording order *)
+  let events_of b =
+    if b.head = 0 then Array.to_list (Array.sub b.evs 0 b.n)
+    else
+      Array.to_list (Array.sub b.evs b.head (b.n - b.head))
+      @ Array.to_list (Array.sub b.evs 0 b.head)
   in
+  let all = List.concat_map events_of bufs in
   let all = List.stable_sort (fun a b -> Float.compare a.ts b.ts) all in
   let last : (int, float) Hashtbl.t = Hashtbl.create 8 in
   List.map
@@ -194,8 +227,10 @@ let json_of_arg = function
 let ph_of_kind = function Begin -> "B" | End -> "E" | Instant -> "i"
 
 (* Streamed through a buffer rather than built as one [Json.t]: traces
-   can hold hundreds of thousands of events. *)
-let write_chrome oc (events : event list) =
+   can hold hundreds of thousands of events.  [~ring:true] marks the
+   document as a flight-recorder dump (top-level ["ring": true]), which
+   tells the checker to expect dropped-oldest truncation. *)
+let write_chrome ?(ring = false) oc (events : event list) =
   let buf = Buffer.create (1 lsl 16) in
   let flush_buf () =
     output_string oc (Buffer.contents buf);
@@ -286,14 +321,16 @@ let write_chrome oc (events : event list) =
          ]
         @ scope @ args))
     events;
-  Buffer.add_string buf "\n]}\n";
+  Buffer.add_string buf "\n]";
+  if ring then Buffer.add_string buf ",\n\"ring\": true";
+  Buffer.add_string buf "}\n";
   flush_buf ()
 
 (* Write a Chrome trace file, closing the descriptor and removing the
    partial file if anything fails mid-write (ENOSPC, permissions): a
    truncated JSON left behind would make a later [check-trace] choke on
    what looks like a complete artifact. *)
-let export ~path events =
+let export ?(ring = false) ~path events =
   let oc = open_out path in
   let ok = ref false in
   Fun.protect
@@ -301,12 +338,12 @@ let export ~path events =
       close_out_noerr oc;
       if not !ok then try Sys.remove path with Sys_error _ -> ())
     (fun () ->
-      write_chrome oc events;
+      write_chrome ~ring oc events;
       (* surface buffered-write failures here, not at close_out_noerr *)
       flush oc;
       ok := true)
 
-let chrome_string events =
+let chrome_string ?(ring = false) events =
   let path = Filename.temp_file "trace" ".json" in
   (* the temp file must not outlive the round-trip, whichever way it
      ends: remove it on success and on any write/read failure *)
@@ -317,7 +354,7 @@ let chrome_string events =
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () ->
-          write_chrome oc events;
+          write_chrome ~ring oc events;
           flush oc);
       let ic = open_in path in
       Fun.protect
@@ -335,7 +372,9 @@ let arg_of_json = function
   | Json.Bool b -> Str (string_of_bool b)
   | _ -> Str "?"
 
-let parse_chrome (text : string) : event list =
+(* Parse a Chrome trace-event document; the [bool] is the top-level
+   ["ring"] flag written by flight-recorder dumps. *)
+let parse_doc (text : string) : bool * event list =
   let doc =
     try Json.parse text
     with Json.Parse_error msg -> raise (Malformed ("bad JSON: " ^ msg))
@@ -345,7 +384,11 @@ let parse_chrome (text : string) : event list =
     | Some (Json.Arr evs) -> evs
     | _ -> raise (Malformed "no traceEvents array")
   in
-  List.filter_map
+  let ring =
+    match Json.member "ring" doc with Some (Json.Bool b) -> b | _ -> false
+  in
+  ( ring,
+    List.filter_map
     (fun ev ->
       let str name = Option.bind (Json.member name ev) Json.to_str in
       let num name = Option.bind (Json.member name ev) Json.to_float in
@@ -380,15 +423,26 @@ let parse_chrome (text : string) : event list =
               args;
             }
       | None -> raise (Malformed "event missing ph"))
-    events
+      events )
+
+let parse_chrome text = snd (parse_doc text)
 
 (* --- well-formedness --------------------------------------------------- *)
 
 (* The properties every collected (or re-parsed) trace must satisfy:
    within each tid, timestamps never decrease, every End matches the
    nearest unclosed Begin by name and pid, and no span is left open.
-   Instants may appear anywhere. *)
-let check (events : event list) : string list =
+   Instants may appear anywhere.
+
+   [~ring:true] (flight-recorder dumps) relaxes exactly the two shapes
+   dropped-oldest truncation produces and nothing more: an End arriving
+   at an *empty* stack (its Begin was overwritten — in a well-formed
+   stream, anything opened after that Begin has already closed by then,
+   so the stack is provably empty at such an End) and spans still open
+   at the end of the stream (the dump was taken mid-run).  An End that
+   mismatches a *nonempty* stack top can never come from truncation and
+   stays an error, as do timestamp regressions. *)
+let check ?(ring = false) (events : event list) : string list =
   let errors = ref [] in
   let error fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
   let by_tid : (int, event list ref) Hashtbl.t = Hashtbl.create 8 in
@@ -421,11 +475,14 @@ let check (events : event list) : string list =
                        (pid %d)"
                       tid e.name e.pid name pid;
                   stack := rest
-              | [] -> error "tid %d: end of %S with no open span" tid e.name)
+              | [] ->
+                  if not ring then
+                    error "tid %d: end of %S with no open span" tid e.name)
           | Instant -> ())
         evs;
-      List.iter
-        (fun (name, _) -> error "tid %d: span %S never ended" tid name)
-        !stack)
+      if not ring then
+        List.iter
+          (fun (name, _) -> error "tid %d: span %S never ended" tid name)
+          !stack)
     (List.sort compare tids);
   List.rev !errors

@@ -47,11 +47,18 @@ val pid_name : int -> string
 
 (** Enable tracing into fresh buffers.  [capacity] bounds the events
     kept per domain (default [2{^18}]); beyond it new events are dropped
-    and counted, never overwritten, so recorded spans stay balanced. *)
-val start : ?capacity:int -> unit -> unit
+    and counted, never overwritten, so recorded spans stay balanced.
+    With [ring:true] (the flight recorder) a full buffer instead
+    overwrites its {e oldest} event, keeping the most recent window —
+    dumps may then carry orphan [End] events at the head, which
+    {!check} [~ring:true] tolerates. *)
+val start : ?capacity:int -> ?ring:bool -> unit -> unit
 
 (** Disable tracing.  Recorded events remain available to {!collect}. *)
 val stop : unit -> unit
+
+(** Whether the current trace session records in ring mode. *)
+val ring : unit -> bool
 
 (** The current trace epoch.  Each {!start} begins a new epoch:
     timestamps restart at zero, buffers from earlier epochs are dropped,
@@ -88,17 +95,19 @@ val with_span : pid:int -> ?args:(string * arg) list -> string -> (unit -> 'a) -
 val collect : unit -> event list
 
 (** Write events as a Chrome trace-event JSON document, with metadata
-    records naming each phase (process) and worker (thread). *)
-val write_chrome : out_channel -> event list -> unit
+    records naming each phase (process) and worker (thread).
+    [ring:true] marks the document as a flight-recorder dump with a
+    top-level ["ring": true] field, recovered by {!parse_doc}. *)
+val write_chrome : ?ring:bool -> out_channel -> event list -> unit
 
 (** {!write_chrome} to a file.  The descriptor is closed on every path;
     if the write fails (disk full, permissions) the partial file is
     removed before the exception propagates, so no truncated trace is
     left looking like a complete artifact. *)
-val export : path:string -> event list -> unit
+val export : ?ring:bool -> path:string -> event list -> unit
 
 (** {!write_chrome} to a string (convenience for tests). *)
-val chrome_string : event list -> string
+val chrome_string : ?ring:bool -> event list -> string
 
 exception Malformed of string
 
@@ -107,8 +116,15 @@ exception Malformed of string
     that are not traces. *)
 val parse_chrome : string -> event list
 
+(** Like {!parse_chrome}, also recovering the top-level ["ring"] flag
+    (false when absent) so checkers know to expect ring truncation. *)
+val parse_doc : string -> bool * event list
+
 (** Well-formedness: per [tid], timestamps never decrease, every [End]
     matches the nearest unclosed [Begin] (same name and pid), and no
     span is left open.  Returns human-readable violations, [[]] if the
-    trace is well-formed. *)
-val check : event list -> string list
+    trace is well-formed.  [~ring:true] (flight-recorder dumps)
+    additionally accepts the two shapes dropped-oldest truncation
+    produces — an [End] at an empty stack and spans still open at the
+    end of the stream — while keeping every other violation an error. *)
+val check : ?ring:bool -> event list -> string list

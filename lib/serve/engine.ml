@@ -32,6 +32,25 @@ let c_batches = Sutil.Counters.counter "serve.batches"
 let c_combined = Sutil.Counters.counter "serve.combined_runs"
 let c_cross = Sutil.Counters.counter "serve.cross_script_shares"
 
+(* Every engine also keeps a structured, per-engine [Sobs.Metrics]
+   registry (the process-global serve.* counters above are kept
+   unchanged for existing reports): per-path end-to-end session latency
+   histograms, cache occupancy gauges and per-tenant traffic counters.
+   Per-engine, so tests and embedded engines never see each other's
+   readings — the reason the lifetime counters above cannot serve.
+
+   Invariants the SA046 audit holds a snapshot to:
+   every session lands in [serve.sessions_submitted]; failures land in
+   [serve.sessions_failed]; every non-failed session is exactly one of
+   [serve.cache_hits]/[serve.cache_misses] and observes exactly one
+   latency histogram path (hit / share / miss); the [serve.cache_size]
+   gauge equals the plan cache's entry count. *)
+
+let path_label = function
+  | `Hit -> "hit"  (* plan cache hit (or within-batch duplicate) *)
+  | `Share -> "share"  (* executed via the combined cross-script run *)
+  | `Miss -> "miss"  (* solo-optimized and solo-executed *)
+
 type status = Done of { cache_hit : bool; combined : bool } | Failed of string
 
 type session_result = {
@@ -67,12 +86,14 @@ type t = {
   max_seconds : float option;
   cache : Plan_cache.t;
   exec : Sexec.Engine.t;
-  mutable pending : (string * string) list;  (* (id, text), reversed *)
+  metrics : Sobs.Metrics.t;
+  mutable pending : (string * string * string) list;
+      (* (id, tenant, text), reversed *)
   mutable batches : int;
 }
 
 let create ?(config = Cse.Config.default) ?max_tasks ?max_seconds
-    ?(cluster = Scost.Cluster.default) ?(workers = 1) ?batch_size
+    ?(cluster = Scost.Cluster.default) ?(workers = 1) ?batch_size ?faults
     (catalog : Relalg.Catalog.t) =
   {
     catalog;
@@ -82,15 +103,21 @@ let create ?(config = Cse.Config.default) ?max_tasks ?max_seconds
     max_seconds;
     cache = Plan_cache.create ();
     exec =
-      Sexec.Engine.create ~workers ?batch_size
+      Sexec.Engine.create ~workers ?batch_size ?faults
         ~machines:cluster.Scost.Cluster.machines catalog;
     pending = [];
     batches = 0;
+    metrics = Sobs.Metrics.create ();
   }
 
 let cache t = t.cache
 
-let submit t ~id ~text = t.pending <- (id, text) :: t.pending
+let metrics t = t.metrics
+
+let default_tenant = "default"
+
+let submit ?(tenant = default_tenant) t ~id ~text =
+  t.pending <- (id, tenant, text) :: t.pending
 
 let pending_count t = List.length t.pending
 
@@ -190,9 +217,11 @@ let cross_script_spools (plan : Sphys.Plan.t) output_counts =
 (* One successfully-parsed submission, with its cache entry. *)
 type classified = {
   c_id : string;
+  c_tenant : string;
   c_entry : Plan_cache.entry;
   c_norm : Slang.Ast.script;
   c_hit : bool;  (* found in cache, or a within-batch duplicate *)
+  c_opt_s : float;  (* wall seconds spent classifying (parse .. optimize) *)
 }
 
 let result_of ~combined (c : classified) outputs =
@@ -225,15 +254,26 @@ let flush t : batch_result option =
        fingerprint solo-optimizes and populates the cache *)
     let classified =
       List.map
-        (fun (id, text) ->
+        (fun (id, tenant, text) ->
+          let ct0 = Unix.gettimeofday () in
           match
             let norm = Normalize.parse text in
             let ntext = Normalize.to_text norm in
             let fp = Plan_cache.key ~catalog_version:version ntext in
+            let mk e hit =
+              {
+                c_id = id;
+                c_tenant = tenant;
+                c_entry = e;
+                c_norm = norm;
+                c_hit = hit;
+                c_opt_s = Unix.gettimeofday () -. ct0;
+              }
+            in
             match Plan_cache.find t.cache fp with
             | Some e ->
                 Plan_cache.note_hit e;
-                { c_id = id; c_entry = e; c_norm = norm; c_hit = true }
+                mk e true
             | None ->
                 let report =
                   Cse.Pipeline.run ~config:t.config ?budget:(budget t)
@@ -250,12 +290,31 @@ let flush t : batch_result option =
                   }
                 in
                 Plan_cache.add t.cache e;
-                { c_id = id; c_entry = e; c_norm = norm; c_hit = false }
+                mk e false
           with
           | c -> Ok c
-          | exception e -> Error (id, describe e))
+          | exception e -> Error (id, tenant, describe e))
         pending
     in
+    (* per-engine accounting: submissions, outcomes, per-tenant traffic.
+       Bumped here (after classification, before execution) so a failed
+       session is never also a hit or a miss — the SA046 invariant. *)
+    List.iter
+      (fun c ->
+        let m = t.metrics in
+        match c with
+        | Ok c ->
+            Sobs.Metrics.bump m "serve.sessions_submitted";
+            Sobs.Metrics.bump m "serve.tenant_submitted"
+              ~labels:[ ("tenant", c.c_tenant) ];
+            Sobs.Metrics.bump m
+              (if c.c_hit then "serve.cache_hits" else "serve.cache_misses")
+        | Error (_, tenant, _) ->
+            Sobs.Metrics.bump m "serve.sessions_submitted";
+            Sobs.Metrics.bump m "serve.tenant_submitted"
+              ~labels:[ ("tenant", tenant) ];
+            Sobs.Metrics.bump m "serve.sessions_failed")
+      classified;
     (* the actual misses, one per fresh fingerprint, in batch order *)
     let misses =
       List.filter_map
@@ -278,6 +337,7 @@ let flush t : batch_result option =
           in
           let outs = Sexec.Engine.run t.exec report.Cse.Pipeline.cse_plan in
           note_run t wall attempts report;
+          let combined_wall = t.exec.Sexec.Engine.last_wall in
           let counts = List.map (fun c -> c.c_entry.Plan_cache.outputs) misses in
           match split_by counts outs with
           | None -> None (* output miscount: fall back to solo runs *)
@@ -296,18 +356,45 @@ let flush t : batch_result option =
                         slice ))
                   misses slices
               in
-              Some (report, shares, per_session)
+              Some (report, shares, per_session, combined_wall)
         with
         | info -> info
         | exception _ -> None
     in
     let combined_outputs =
-      match combined_info with Some (_, _, per) -> per | None -> []
+      match combined_info with Some (_, _, per, _) -> per | None -> []
+    in
+    let combined_wall =
+      match combined_info with Some (_, _, _, w) -> w | None -> 0.0
+    in
+    (* One latency observation and one served/rows/bytes accounting per
+       executed session: end-to-end seconds (classification plus the
+       wall of the run that produced its outputs) in the histogram of
+       its execution path — exactly one of hit / share / miss. *)
+    let note_served (c : classified) path exec_wall (r : session_result) =
+      let m = t.metrics in
+      Sobs.Metrics.observe m "serve.session_seconds"
+        ~labels:[ ("path", path_label path) ]
+        (c.c_opt_s +. exec_wall);
+      let tenant = [ ("tenant", c.c_tenant) ] in
+      Sobs.Metrics.bump m "serve.tenant_served" ~labels:tenant;
+      Sobs.Metrics.bump m "serve.tenant_rows" ~labels:tenant ~by:r.rows;
+      let bytes =
+        List.fold_left
+          (fun acc (_, tbl) ->
+            acc
+            + Relalg.Table.cardinality tbl
+              * List.length tbl.Relalg.Table.schema
+              * 8)
+          0 r.outputs
+      in
+      Sobs.Metrics.bump m "serve.tenant_bytes" ~labels:tenant ~by:bytes;
+      r
     in
     let results =
       List.map
         (function
-          | Error (id, msg) ->
+          | Error (id, _, msg) ->
               {
                 id;
                 fingerprint = None;
@@ -319,7 +406,9 @@ let flush t : batch_result option =
               }
           | Ok c -> (
               match List.assq_opt c combined_outputs with
-              | Some outs -> result_of ~combined:true c outs
+              | Some outs ->
+                  note_served c `Share combined_wall
+                    (result_of ~combined:true c outs)
               | None ->
                   (* cache hits, within-batch duplicates, single miss, or
                      combined-run fallback: run the cached solo plan *)
@@ -328,9 +417,20 @@ let flush t : batch_result option =
                       c.c_entry.Plan_cache.report.Cse.Pipeline.cse_plan
                   in
                   note_run t wall attempts c.c_entry.Plan_cache.report;
-                  result_of ~combined:false c outs))
+                  note_served c
+                    (if c.c_hit then `Hit else `Miss)
+                    t.exec.Sexec.Engine.last_wall
+                    (result_of ~combined:false c outs)))
         classified
     in
+    (* occupancy gauges reflect the cache as of the end of this flush *)
+    Sobs.Metrics.set t.metrics "serve.cache_size"
+      (float_of_int (Plan_cache.size t.cache));
+    let m_hits = Sobs.Metrics.get t.metrics "serve.cache_hits" in
+    let m_misses = Sobs.Metrics.get t.metrics "serve.cache_misses" in
+    if m_hits + m_misses > 0 then
+      Sobs.Metrics.set t.metrics "serve.cache_hit_ratio"
+        (float_of_int m_hits /. float_of_int (m_hits + m_misses));
     (* distinct optimizations behind this batch, for auditing: one per
        distinct fingerprint (cached plans included), plus the combined
        run *)
@@ -346,7 +446,7 @@ let flush t : batch_result option =
                 Hashtbl.add seen fp ();
                 Some c.c_entry.Plan_cache.report))
         classified
-      @ match combined_info with Some (r, _, _) -> [ r ] | None -> []
+      @ match combined_info with Some (r, _, _, _) -> [ r ] | None -> []
     in
     Some
       {
@@ -355,7 +455,7 @@ let flush t : batch_result option =
         combined = combined_info <> None;
         combined_cost =
           Option.map
-            (fun (r, _, _) ->
+            (fun (r, _, _, _) ->
               Scost.Dagcost.cost t.cluster r.Cse.Pipeline.cse_plan)
             combined_info;
         solo_cost_sum =
@@ -368,7 +468,7 @@ let flush t : batch_result option =
                      acc +. c.c_entry.Plan_cache.report.Cse.Pipeline.cse_cost)
                    0.0 misses));
         cross_script_shares =
-          (match combined_info with Some (_, s, _) -> s | None -> 0);
+          (match combined_info with Some (_, s, _, _) -> s | None -> 0);
         counters = Sutil.Counters.deltas before;
         wall_s = !wall;
         attempts = List.rev !attempts;

@@ -13,7 +13,13 @@
 
     [serve.*] counters ({!Sutil.Counters}) record sessions, batches,
     cache hits/misses/invalidations, combined runs and cross-script
-    spool shares. *)
+    spool shares.  Each engine additionally owns a structured
+    {!Sobs.Metrics} registry ({!metrics}): per-path session latency
+    histograms ([serve.session_seconds{path=hit|share|miss}]), cache
+    occupancy gauges ([serve.cache_size], [serve.cache_hit_ratio]) and
+    per-tenant traffic counters ([serve.tenant_*{tenant=...}]) — the
+    registry the [#stats] verb, [--stats-file] exposition and the SA046
+    consistency audit read. *)
 
 type status =
   | Done of { cache_hit : bool; combined : bool }
@@ -55,7 +61,10 @@ type t
     persistent executor.  [max_tasks]/[max_seconds] bound each
     optimization with a fresh budget (budgets are mutable and cannot be
     shared across runs).  [workers]/[batch_size] configure the
-    executor's domain pool and columnar batch granularity. *)
+    executor's domain pool and columnar batch granularity.  [faults]
+    injects deterministic partition losses into every executor run
+    (recovery drills; exhaustion propagates out of {!flush} so the
+    caller can dump the flight recorder). *)
 val create :
   ?config:Cse.Config.t ->
   ?max_tasks:int ->
@@ -63,13 +72,21 @@ val create :
   ?cluster:Scost.Cluster.t ->
   ?workers:int ->
   ?batch_size:int ->
+  ?faults:Sexec.Faults.spec ->
   Relalg.Catalog.t ->
   t
 
 val cache : t -> Plan_cache.t
 
-(** Queue a script; nothing runs until {!flush}. *)
-val submit : t -> id:string -> text:string -> unit
+(** The engine's structured metrics registry (latency histograms, cache
+    gauges, per-tenant counters); per-engine, unlike the process-global
+    [serve.*] counters. *)
+val metrics : t -> Sobs.Metrics.t
+
+(** Queue a script; nothing runs until {!flush}.  [tenant] (default
+    ["default"]) attributes the submission in the per-tenant traffic
+    counters. *)
+val submit : ?tenant:string -> t -> id:string -> text:string -> unit
 
 val pending_count : t -> int
 

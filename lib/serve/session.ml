@@ -5,7 +5,10 @@
      #script <id>      begin a script; following lines are script text
      #end              end the current script
      #batch            flush pending scripts as one batch
+     #tenant <name>    attribute following scripts to this tenant
      #catalog-bump     advance the statistics epoch (invalidates cache)
+     #stats            emit a live metrics snapshot
+     #dump             dump the flight recorder
      #quit             stop reading
      ## ...            comment, ignored
 
@@ -18,7 +21,10 @@
 type item =
   | Script of { id : string; text : string }
   | Flush
+  | Tenant of string
   | Catalog_bump
+  | Stats
+  | Dump
   | Quit
 
 exception Protocol_error of string
@@ -58,10 +64,18 @@ let next_item (next : unit -> string option) : item option =
                 body ()
           in
           body ())
+        else if starts_with ~prefix:"#tenant" line then (
+          let name =
+            String.trim (String.sub line 7 (String.length line - 7))
+          in
+          if name = "" then err "#tenant requires a name";
+          Some (Tenant name))
         else
           let d = String.trim line in
           if d = "#batch" then Some Flush
           else if d = "#catalog-bump" then Some Catalog_bump
+          else if d = "#stats" then Some Stats
+          else if d = "#dump" then Some Dump
           else if d = "#quit" then Some Quit
           else if starts_with ~prefix:"#" line then
             err "unknown directive %S" line

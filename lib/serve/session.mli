@@ -4,7 +4,10 @@
 #script <id>      begin a script; following lines are its text
 #end              end the current script
 #batch            flush pending scripts as one batch
+#tenant <name>    attribute following scripts to this tenant
 #catalog-bump     advance the statistics epoch (invalidates the cache)
+#stats            emit a live metrics snapshot
+#dump             dump the flight recorder
 #quit             stop reading
 ## ...            comment, ignored
     v}
@@ -17,7 +20,10 @@
 type item =
   | Script of { id : string; text : string }
   | Flush
+  | Tenant of string  (** applies to all following scripts *)
   | Catalog_bump
+  | Stats
+  | Dump
   | Quit
 
 exception Protocol_error of string

@@ -18,7 +18,11 @@ open Relalg
    then seeded filler: fresh variations over a small template space,
    duplicates of earlier submissions, batch breaks, and one
    [#catalog-bump] near the three-quarter mark to exercise
-   invalidation.
+   invalidation.  The filler also rotates [#tenant] attribution over a
+   small fixed tenant set (the prelude switches off the default tenant
+   deterministically, so per-tenant traffic counters always see at
+   least two tenants), and the stream closes with one [#stats] so a
+   generated session exercises the live-exposition verb.
 
    Every OUTPUT carries ORDER BY over the full (unique) group key, so
    row order is total and outputs compare byte-identical across plan
@@ -62,6 +66,10 @@ let respace s =
 
 let key_choices = [| [ "A" ]; [ "B" ]; [ "A"; "B" ]; [ "B"; "C" ]; [ "A"; "C" ] |]
 
+(* A small closed tenant set: label values must never be unbounded
+   (see Sobs.Metrics), so the generator draws from these three. *)
+let tenants = [| "blue"; "green"; "ruby" |]
+
 let generate ?(seed = 1) ?(scripts = 20) () : string =
   let rng = Sutil.Rng.create seed in
   let buf = Buffer.create 4096 in
@@ -95,6 +103,9 @@ let generate ?(seed = 1) ?(scripts = 20) () : string =
   script (plain_script ~file:files.(2) ~keys:[ "A" ] ~cut:7 ~out:"serve_xa");
   script (plain_script ~file:files.(2) ~keys:[ "B" ] ~cut:7 ~out:"serve_xb");
   batch ();
+  (* the prelude runs as the default tenant; everything after is
+     attributed, so per-tenant counters always cover >= two tenants *)
+  Buffer.add_string buf (Printf.sprintf "#tenant %s\n" tenants.(0));
   (* seeded filler *)
   let bumped = ref false in
   let in_batch = ref 0 in
@@ -116,7 +127,18 @@ let generate ?(seed = 1) ?(scripts = 20) () : string =
         script (plain_script ~file ~keys:[ "A" ] ~cut ~out:"serve_pa");
         script (plain_script ~file ~keys:[ "B"; "C" ] ~cut ~out:"serve_pb");
         in_batch := !in_batch + 1
-    | 4 | 5 ->
+    | 4 ->
+        (* rotate tenant attribution mid-stream *)
+        Buffer.add_string buf
+          (Printf.sprintf "#tenant %s\n"
+             tenants.(Sutil.Rng.int rng (Array.length tenants)));
+        script
+          (plain_script
+             ~file:(files.(Sutil.Rng.int rng (Array.length files)))
+             ~keys:key_choices.(Sutil.Rng.int rng (Array.length key_choices))
+             ~cut:(Sutil.Rng.int rng 9)
+             ~out:"serve_fill")
+    | 5 ->
         script
           (aliased_script ~alias:"q" ~rel:"In"
              ~file:(files.(Sutil.Rng.int rng (Array.length files)))
@@ -137,6 +159,7 @@ let generate ?(seed = 1) ?(scripts = 20) () : string =
     end
   done;
   if !in_batch > 0 then batch ();
+  Buffer.add_string buf "#stats\n";
   Buffer.add_string buf "#quit\n";
   Buffer.contents buf
 

@@ -557,6 +557,101 @@ let test_sa045_end_to_end () =
           ~attempts:[ engine.Sexec.Engine.last_attempts ]
           events))
 
+(* --- serve metrics audit (SA046) ------------------------------------------ *)
+
+(* Synthetic snapshot rows for the serve metrics auditor. *)
+let m_count name v : Sobs.Metrics.row =
+  { Sobs.Metrics.name; labels = []; value = Sobs.Metrics.Count v }
+
+let m_gauge name v : Sobs.Metrics.row =
+  { Sobs.Metrics.name; labels = []; value = Sobs.Metrics.Value v }
+
+let m_latency path n : Sobs.Metrics.row =
+  let h = Sobs.Hist.make "synthetic" in
+  for _ = 1 to n do
+    Sobs.Hist.observe h 0.001
+  done;
+  {
+    Sobs.Metrics.name = "serve.session_seconds";
+    labels = [ ("path", path) ];
+    value = Sobs.Metrics.Dist (Sobs.Hist.summarize h);
+  }
+
+let sa046 ~cache_entries rows =
+  List.map
+    (fun (d : Sanalysis.Diag.t) -> d.Sanalysis.Diag.code)
+    (Sanalysis.Serve_audit.run ~cache_entries rows)
+
+let consistent_rows =
+  [
+    m_count "serve.sessions_submitted" 6;
+    m_count "serve.sessions_failed" 1;
+    m_count "serve.cache_hits" 2;
+    m_count "serve.cache_misses" 3;
+    m_latency "hit" 2;
+    m_latency "share" 2;
+    m_latency "miss" 1;
+    m_gauge "serve.cache_size" 3.0;
+  ]
+
+let test_sa046_clean () =
+  Alcotest.(check (list string)) "consistent snapshot passes" []
+    (sa046 ~cache_entries:3 consistent_rows)
+
+let test_sa046_violations () =
+  let flags msg rows cache_entries =
+    Alcotest.(check (list string)) msg [ "SA046" ]
+      (List.sort_uniq String.compare (sa046 ~cache_entries rows))
+  in
+  (* a hit neither counted nor failed: hits+misses under-count *)
+  flags "lost session classification"
+    (m_count "serve.cache_hits" 1 :: List.tl consistent_rows)
+    3;
+  (* a served session observed in no latency path *)
+  flags "lost latency observation"
+    (List.map
+       (fun (r : Sobs.Metrics.row) ->
+         if r.Sobs.Metrics.labels = [ ("path", "miss") ] then m_latency "miss" 0
+         else r)
+       consistent_rows)
+    3;
+  (* hit sessions must land on the hit path *)
+  flags "hit latency on the wrong path"
+    (List.map
+       (fun (r : Sobs.Metrics.row) ->
+         match r.Sobs.Metrics.labels with
+         | [ ("path", "hit") ] -> m_latency "hit" 1
+         | [ ("path", "miss") ] -> m_latency "miss" 2
+         | _ -> r)
+       consistent_rows)
+    3;
+  (* unknown path label *)
+  flags "unknown path label"
+    (m_latency "warp" 0 :: consistent_rows)
+    3;
+  (* stale cache gauge *)
+  flags "stale cache-size gauge" consistent_rows 7;
+  (* missing gauge while the cache holds entries *)
+  flags "missing cache-size gauge"
+    (List.filter
+       (fun (r : Sobs.Metrics.row) ->
+         r.Sobs.Metrics.name <> "serve.cache_size")
+       consistent_rows)
+    3;
+  (* a latency series that is not a histogram at all *)
+  Alcotest.(check bool) "non-histogram latency flagged" true
+    (List.mem "SA046"
+       (sa046 ~cache_entries:3
+          ({
+             Sobs.Metrics.name = "serve.session_seconds";
+             labels = [ ("path", "hit") ];
+             value = Sobs.Metrics.Count 2;
+           }
+          :: List.filter
+               (fun (r : Sobs.Metrics.row) ->
+                 r.Sobs.Metrics.labels <> [ ("path", "hit") ])
+               consistent_rows)))
+
 (* --- framework ----------------------------------------------------------- *)
 
 let test_diag_framework () =
@@ -654,5 +749,10 @@ let () =
           Alcotest.test_case "SA045 unknown stage" `Quick
             test_sa045_unknown_stage;
           Alcotest.test_case "SA045 end to end" `Quick test_sa045_end_to_end;
+        ] );
+      ( "serve metrics audit",
+        [
+          Alcotest.test_case "SA046 clean snapshot" `Quick test_sa046_clean;
+          Alcotest.test_case "SA046 violations" `Quick test_sa046_violations;
         ] );
     ]

@@ -530,6 +530,75 @@ let test_parallel_large_scripts () =
     [ Sworkload.Large_gen.ls1 (); Sworkload.Large_gen.ls2 () ];
   Alcotest.(check bool) "recoveries exercised in parallel" true (!retries > 0)
 
+(* --- kernel profiling ------------------------------------------------------ *)
+
+(* Profiling must be observation-only: enabling it changes no output
+   byte and no fault/retry counter, and the profiled engine still obeys
+   the whole worker-count determinism contract (the profiled column of
+   the matrix). *)
+let test_profile_invariance () =
+  let catalog, dag, plan = optimize Sworkload.Paper_scripts.s2 in
+  let run () =
+    Sexec.Validate.check ~oversubscribe:true ~machines:6 ~workers:2 catalog
+      dag plan
+  in
+  Sexec.Profile.reset ();
+  Sexec.Profile.set false;
+  let off = run () in
+  Alcotest.(check bool) "unprofiled run records nothing" true
+    (Sexec.Profile.snapshot () = []);
+  Fun.protect
+    ~finally:(fun () ->
+      Sexec.Profile.set false;
+      Sexec.Profile.reset ())
+    (fun () ->
+      Sexec.Profile.set true;
+      let on_ = run () in
+      Alcotest.(check bool) "outputs byte-identical with profiling on" true
+        (Sexec.Validate.identical_outputs off.Sexec.Validate.outputs
+           on_.Sexec.Validate.outputs);
+      Alcotest.(check (array int)) "per-stage attempts identical"
+        off.Sexec.Validate.attempts on_.Sexec.Validate.attempts;
+      Alcotest.(check int) "retries identical"
+        off.Sexec.Validate.counters.Sexec.Engine.retries
+        on_.Sexec.Validate.counters.Sexec.Engine.retries;
+      let rows = Sexec.Profile.snapshot () in
+      Alcotest.(check bool) "kernel histograms recorded" true (rows <> []);
+      Alcotest.(check bool) "rows carry kernel and stage labels" true
+        (List.for_all
+           (fun (r : Sobs.Metrics.row) ->
+             r.Sobs.Metrics.name = "exec.kernel_seconds"
+             && List.mem_assoc "kernel" r.Sobs.Metrics.labels
+             && List.mem_assoc "stage" r.Sobs.Metrics.labels)
+           rows);
+      (* the profiled column of the determinism matrix, fault-free and
+         fault-injected *)
+      ignore (worker_matrix ~machines:6 catalog dag plan);
+      ignore
+        (worker_matrix
+           ~faults:(Sexec.Faults.spec ~rate:0.3 11)
+           ~machines:6 catalog dag plan))
+
+let test_profile_disabled_zero_alloc () =
+  Sexec.Profile.set false;
+  Sexec.Profile.reset ();
+  (* warm up once so any one-time initialization is out of the way *)
+  Sexec.Profile.note ~kernel:"warm" ~stage:0 (Sexec.Profile.now ());
+  let m0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    let t0 = Sexec.Profile.now () in
+    Sexec.Profile.note ~kernel:"hot" ~stage:1 t0;
+    Sexec.Profile.note ~kernel:"hotter" ~stage:2 t0
+  done;
+  let m1 = Gc.minor_words () in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled path allocation-free (%.0f minor words)"
+       (m1 -. m0))
+    true
+    (m1 -. m0 < 256.0);
+  Alcotest.(check bool) "disabled path records nothing" true
+    (Sexec.Profile.snapshot () = [])
+
 let test_parallel_cross_script () =
   (* the serve batch path: two scripts sharing a scan chain are combined
      into one memo, so the shared extract+filter executes once behind a
@@ -640,5 +709,12 @@ let () =
             test_parallel_large_scripts;
           Alcotest.test_case "combined cross-script plan" `Quick
             test_parallel_cross_script;
+        ] );
+      ( "kernel profiling",
+        [
+          Alcotest.test_case "profiled column is byte-identical" `Quick
+            test_profile_invariance;
+          Alcotest.test_case "disabled path zero-alloc" `Quick
+            test_profile_disabled_zero_alloc;
         ] );
     ]

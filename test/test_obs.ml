@@ -5,6 +5,7 @@
 
 module T = Sobs.Trace
 module H = Sobs.Hist
+module M = Sobs.Metrics
 
 (* --- trace recording and export ------------------------------------------ *)
 
@@ -94,6 +95,61 @@ let test_drop_newest () =
   Alcotest.(check int) "new generation resets drops" 0 (T.dropped ());
   Alcotest.(check int) "new generation resets events" 0
     (List.length (T.collect ()))
+
+(* --- ring mode (the flight recorder's window) ---------------------------- *)
+
+let test_ring_overwrites_oldest () =
+  (* same capacity clamp as drop-newest, opposite policy: the ring keeps
+     the NEWEST window and overwrites the oldest *)
+  T.start ~capacity:16 ~ring:true ();
+  Alcotest.(check bool) "ring mode reported" true (T.ring ());
+  for i = 1 to 1500 do
+    T.instant ~pid:1 ~args:[ ("i", T.Int i) ] "tick"
+  done;
+  T.stop ();
+  let evs = T.collect () in
+  Alcotest.(check int) "kept exactly capacity" 1024 (List.length evs);
+  Alcotest.(check int) "counted the overwrites" 476 (T.dropped ());
+  (match (evs, List.rev evs) with
+  | first :: _, last :: _ ->
+      Alcotest.(check bool) "oldest kept event is the 477th" true
+        (List.assoc "i" first.T.args = T.Int 477);
+      Alcotest.(check bool) "newest event survives" true
+        (List.assoc "i" last.T.args = T.Int 1500)
+  | _ -> Alcotest.fail "empty trace");
+  T.start ();
+  T.stop ();
+  Alcotest.(check bool) "plain start clears ring mode" false (T.ring ())
+
+let test_ring_doc_roundtrip () =
+  let evs = [ mk T.Begin "a" 1.0; mk T.End "a" 2.0 ] in
+  let ring, parsed = T.parse_doc (T.chrome_string ~ring:true evs) in
+  Alcotest.(check bool) "ring flag round-trips" true ring;
+  Alcotest.(check int) "events round-trip" 2 (List.length parsed);
+  let ring', _ = T.parse_doc (T.chrome_string evs) in
+  Alcotest.(check bool) "plain traces parse as non-ring" false ring'
+
+let test_ring_check_tolerance () =
+  (* truncation artifacts of overwriting the oldest events: an End whose
+     Begin was overwritten (it arrives at an empty stack) and a span
+     still open when the dump was cut *)
+  let truncated =
+    [ mk T.End "a" 1.0; mk T.Begin "b" 2.0; mk T.End "b" 3.0;
+      mk T.Begin "c" 4.0 ]
+  in
+  Alcotest.(check bool) "strict check rejects truncation" true
+    (T.check truncated <> []);
+  Alcotest.(check (list string)) "ring check tolerates truncation" []
+    (T.check ~ring:true truncated);
+  (* genuine violations stay violations under ring tolerance *)
+  let bad msg evs =
+    Alcotest.(check bool) msg true (T.check ~ring:true evs <> [])
+  in
+  bad "ring: name mismatch still flagged"
+    [ mk T.Begin "a" 1.0; mk T.Begin "b" 2.0; mk T.End "a" 3.0;
+      mk T.End "a" 4.0 ];
+  bad "ring: backwards timestamps still flagged"
+    [ mk T.Begin "a" 2.0; mk T.End "a" 1.0 ]
 
 let test_epoch_scoping () =
   (* each start () opens a fresh epoch: collect returns only the new
@@ -247,6 +303,134 @@ let test_hist_snapshot_reset () =
   Alcotest.(check (list string)) "reset empties the snapshot" []
     (List.map fst (H.snapshot ()))
 
+(* Quantiles must be well-defined at 0 and 1 observations: an empty
+   histogram reads as all zeros (never NaN or a bucket bound), and a
+   single observation reports itself as every quantile — the
+   log-bucket upper bound is clamped to the exact extremes. *)
+let test_hist_empty_summary () =
+  let h = H.make "test.empty" in
+  let s = H.summarize h in
+  Alcotest.(check int) "count" 0 s.H.count;
+  Alcotest.(check (float 0.0)) "sum" 0.0 s.H.sum;
+  Alcotest.(check (float 0.0)) "p50" 0.0 s.H.p50;
+  Alcotest.(check (float 0.0)) "p90" 0.0 s.H.p90;
+  Alcotest.(check (float 0.0)) "min" 0.0 s.H.min;
+  Alcotest.(check (float 0.0)) "max" 0.0 s.H.max;
+  Alcotest.(check bool) "no buckets" true (s.H.buckets = [])
+
+let test_hist_single_observation () =
+  let h = H.make "test.single" in
+  H.observe h 3.0;
+  let s = H.summarize h in
+  Alcotest.(check int) "count" 1 s.H.count;
+  (* without clamping the [2,4) log bucket would report 4.0 *)
+  Alcotest.(check (float 0.0)) "p50 is the observation" 3.0 s.H.p50;
+  Alcotest.(check (float 0.0)) "p90 is the observation" 3.0 s.H.p90;
+  Alcotest.(check (float 0.0)) "min" 3.0 s.H.min;
+  Alcotest.(check (float 0.0)) "max" 3.0 s.H.max
+
+let test_hist_quantiles_within_extremes () =
+  let h = H.make "test.extremes" in
+  List.iter (H.observe h) [ 3.0; 3.5; 3.7 ];
+  let s = H.summarize h in
+  Alcotest.(check bool) "p50 within [min,max]" true
+    (s.H.min <= s.H.p50 && s.H.p50 <= s.H.max);
+  Alcotest.(check bool) "p90 within [min,max]" true
+    (s.H.min <= s.H.p90 && s.H.p90 <= s.H.max);
+  (* non-finite observations are clamped to zero, not poisoning the
+     extremes *)
+  H.observe h Float.nan;
+  let s = H.summarize h in
+  Alcotest.(check int) "nan counted" 4 s.H.count;
+  Alcotest.(check (float 0.0)) "nan clamps to zero min" 0.0 s.H.min;
+  Alcotest.(check bool) "max unchanged" true (s.H.max = 3.7)
+
+(* --- the metrics registry ------------------------------------------------- *)
+
+let test_metrics_counter_gauge () =
+  let m = M.create () in
+  M.bump m "req.total";
+  M.bump m ~by:4 "req.total";
+  Alcotest.(check int) "counter reads" 5 (M.get m "req.total");
+  Alcotest.(check int) "absent counter reads zero" 0 (M.get m "req.other");
+  M.set m "queue.depth" 7.5;
+  M.set m "queue.depth" 3.0;
+  (match M.snapshot m with
+  | [ g; c ] ->
+      Alcotest.(check string) "sorted by name" "queue.depth" g.M.name;
+      Alcotest.(check bool) "gauge keeps last value" true
+        (g.M.value = M.Value 3.0);
+      Alcotest.(check bool) "counter row" true (c.M.value = M.Count 5)
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  M.reset m;
+  Alcotest.(check int) "reset zeroes counters" 0 (M.get m "req.total");
+  Alcotest.(check int) "reset keeps series registered" 2
+    (List.length (M.snapshot m))
+
+let test_metrics_labels_normalized () =
+  let m = M.create () in
+  M.bump m ~labels:[ ("b", "2"); ("a", "1") ] "x";
+  M.bump m ~labels:[ ("a", "1"); ("b", "2") ] "x";
+  Alcotest.(check int) "label order does not split the series" 2
+    (M.get m ~labels:[ ("b", "2"); ("a", "1") ] "x");
+  Alcotest.(check int) "one row" 1 (List.length (M.snapshot m));
+  Alcotest.(check string) "full name renders sorted" "x{a=1,b=2}"
+    (M.full_name "x" [ ("b", "2"); ("a", "1") ])
+
+let test_metrics_kind_mismatch () =
+  let m = M.create () in
+  M.bump m "strict.kind";
+  (match M.set m "strict.kind" 1.0 with
+  | () -> Alcotest.fail "gauge write to a counter series succeeded"
+  | exception Invalid_argument _ -> ());
+  (match M.observe m "strict.kind" 1.0 with
+  | () -> Alcotest.fail "histogram write to a counter series succeeded"
+  | exception Invalid_argument _ -> ())
+
+let test_metrics_histogram_and_exposition () =
+  let m = M.create () in
+  M.observe m ~labels:[ ("path", "hit") ] "lat" 1.0;
+  M.observe m ~labels:[ ("path", "hit") ] "lat" 2.0;
+  M.bump m ~labels:[ ("tenant", "blue") ] "served";
+  let rows = M.snapshot m in
+  let prom = M.to_prom rows in
+  let has needle =
+    let nl = String.length needle and pl = String.length prom in
+    let rec at i =
+      i + nl <= pl && (String.sub prom i nl = needle || at (i + 1))
+    in
+    at 0
+  in
+  Alcotest.(check bool) "prom histogram count sample" true
+    (has "lat_count{path=\"hit\"} 2");
+  Alcotest.(check bool) "prom quantile sample" true
+    (has "lat{path=\"hit\",quantile=\"0.5\"}");
+  Alcotest.(check bool) "prom counter sample" true
+    (has "served{tenant=\"blue\"} 1");
+  match M.to_json rows with
+  | Sobs.Json.Arr objs ->
+      Alcotest.(check int) "json row per series" 2 (List.length objs)
+  | _ -> Alcotest.fail "to_json is not an array"
+
+let test_metrics_hammer () =
+  (* after get-or-create, recording is lock-free: hammer one counter and
+     one histogram from 4 domains and lose nothing *)
+  let m = M.create () in
+  let c = M.counter m "hammer.count" in
+  let h = M.histogram m "hammer.lat" in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Atomic.incr c;
+              H.observe h 1.0
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost counter increments" 40_000
+    (M.get m "hammer.count");
+  Alcotest.(check int) "no lost observations" 40_000 (H.summarize h).H.count
+
 let () =
   Alcotest.run "obs"
     [
@@ -257,6 +441,12 @@ let () =
           Alcotest.test_case "disabled path zero-alloc" `Quick
             test_disabled_zero_alloc;
           Alcotest.test_case "drop-newest at capacity" `Quick test_drop_newest;
+          Alcotest.test_case "ring overwrites oldest" `Quick
+            test_ring_overwrites_oldest;
+          Alcotest.test_case "ring flag round-trips" `Quick
+            test_ring_doc_roundtrip;
+          Alcotest.test_case "ring check tolerance" `Quick
+            test_ring_check_tolerance;
           Alcotest.test_case "epoch scoping across runs" `Quick
             test_epoch_scoping;
           Alcotest.test_case "export is failure-protected" `Quick
@@ -275,5 +465,23 @@ let () =
           Alcotest.test_case "4-domain hammer" `Quick test_hist_hammer;
           Alcotest.test_case "snapshot and reset" `Quick
             test_hist_snapshot_reset;
+          Alcotest.test_case "empty summary well-defined" `Quick
+            test_hist_empty_summary;
+          Alcotest.test_case "single observation quantiles" `Quick
+            test_hist_single_observation;
+          Alcotest.test_case "quantiles within extremes" `Quick
+            test_hist_quantiles_within_extremes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_metrics_counter_gauge;
+          Alcotest.test_case "label normalization" `Quick
+            test_metrics_labels_normalized;
+          Alcotest.test_case "kind mismatch rejected" `Quick
+            test_metrics_kind_mismatch;
+          Alcotest.test_case "histograms and exposition" `Quick
+            test_metrics_histogram_and_exposition;
+          Alcotest.test_case "4-domain hammer" `Quick test_metrics_hammer;
         ] );
     ]

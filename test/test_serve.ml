@@ -270,7 +270,91 @@ let test_protocol_errors () =
   raises "#script s1\nno end";
   raises "#script\nx\n#end\n";
   raises "#bogus\n";
-  raises "stray text\n"
+  raises "stray text\n";
+  raises "#tenant\n";
+  raises "#tenant   \n"
+
+let test_protocol_observability_verbs () =
+  match S.items_of_string "#tenant acme\n#stats\n#dump\n#quit\n" with
+  | [ S.Tenant t; S.Stats; S.Dump; S.Quit ] ->
+      Alcotest.(check string) "tenant name" "acme" t
+  | items -> Alcotest.failf "unexpected items (%d)" (List.length items)
+
+(* --- the per-engine metrics registry and SA046 --------------------------- *)
+
+let metric_rows e = Sobs.Metrics.snapshot (E.metrics e)
+
+let count rows name labels =
+  match
+    List.find_opt
+      (fun (r : Sobs.Metrics.row) ->
+        r.Sobs.Metrics.name = name && r.Sobs.Metrics.labels = labels)
+      rows
+  with
+  | Some { Sobs.Metrics.value = Sobs.Metrics.Count c; _ } -> c
+  | _ -> 0
+
+let hist_count rows name labels =
+  match
+    List.find_opt
+      (fun (r : Sobs.Metrics.row) ->
+        r.Sobs.Metrics.name = name && r.Sobs.Metrics.labels = labels)
+      rows
+  with
+  | Some { Sobs.Metrics.value = Sobs.Metrics.Dist s; _ } -> s.Sobs.Hist.count
+  | _ -> -1
+
+(* Drive every session path once — miss, hit, failure, combined share —
+   under two tenants, then hold the registry to its accounting story:
+   every served session in exactly one latency path, hits+misses
+   covering submitted-failed, tenant traffic attributed, and the SA046
+   audit finding nothing. *)
+let test_metrics_accounting () =
+  let a, b = shared_pair in
+  let e = fresh_engine () in
+  E.submit e ~id:"cold" ~text:plain;
+  ignore (flush_exn e);
+  E.submit ~tenant:"blue" e ~id:"dup" ~text:plain;
+  E.submit ~tenant:"blue" e ~id:"bad" ~text:"THIS IS NOT A SCRIPT";
+  ignore (flush_exn e);
+  E.submit e ~id:"xa" ~text:a;
+  E.submit e ~id:"xb" ~text:b;
+  ignore (flush_exn e);
+  let rows = metric_rows e in
+  Alcotest.(check int) "submitted" 5 (count rows "serve.sessions_submitted" []);
+  Alcotest.(check int) "failed" 1 (count rows "serve.sessions_failed" []);
+  Alcotest.(check int) "hits" 1 (count rows "serve.cache_hits" []);
+  Alcotest.(check int) "misses" 3 (count rows "serve.cache_misses" []);
+  Alcotest.(check int) "hit-path latency observations" 1
+    (hist_count rows "serve.session_seconds" [ ("path", "hit") ]);
+  Alcotest.(check int) "share-path latency observations" 2
+    (hist_count rows "serve.session_seconds" [ ("path", "share") ]);
+  Alcotest.(check int) "miss-path latency observations" 1
+    (hist_count rows "serve.session_seconds" [ ("path", "miss") ]);
+  Alcotest.(check int) "blue tenant submitted" 2
+    (count rows "serve.tenant_submitted" [ ("tenant", "blue") ]);
+  Alcotest.(check int) "blue tenant served" 1
+    (count rows "serve.tenant_served" [ ("tenant", "blue") ]);
+  Alcotest.(check int) "default tenant submitted" 3
+    (count rows "serve.tenant_submitted" [ ("tenant", "default") ]);
+  Alcotest.(check bool) "served rows attributed" true
+    (count rows "serve.tenant_rows" [ ("tenant", "default") ] > 0);
+  (match
+     List.find_opt
+       (fun (r : Sobs.Metrics.row) ->
+         r.Sobs.Metrics.name = "serve.cache_size")
+       rows
+   with
+  | Some { Sobs.Metrics.value = Sobs.Metrics.Value v; _ } ->
+      Alcotest.(check (float 0.0)) "cache_size gauge tracks the cache"
+        (float_of_int (PC.size (E.cache e)))
+        v
+  | _ -> Alcotest.fail "no serve.cache_size gauge");
+  Alcotest.(check (list string)) "SA046 clean" []
+    (List.map Sanalysis.Diag.to_string
+       (Sanalysis.Serve_audit.run
+          ~cache_entries:(PC.size (E.cache e))
+          rows))
 
 let test_generator_stream () =
   let stream = Sworkload.Session_gen.generate ~seed:3 ~scripts:8 () in
@@ -305,17 +389,26 @@ let test_generator_replay () =
             | E.Failed _ -> incr failed)
           b.E.results
   in
+  let tenant = ref None in
   List.iter
     (function
-      | S.Script { id; text } -> E.submit e ~id ~text
+      | S.Script { id; text } -> E.submit ?tenant:!tenant e ~id ~text
       | S.Flush -> flush ()
       | S.Catalog_bump -> ignore (E.catalog_bump e)
+      | S.Tenant t -> tenant := Some t
+      | S.Stats | S.Dump -> ()
       | S.Quit -> ())
     (S.items_of_string (Sworkload.Session_gen.generate ~seed:11 ~scripts:7 ()));
   flush ();
   Alcotest.(check int) "no failed sessions" 0 !failed;
   Alcotest.(check bool) "cache hits happened" true (!hits >= 2);
-  Alcotest.(check bool) "cross-script sharing happened" true (!cross >= 1)
+  Alcotest.(check bool) "cross-script sharing happened" true (!cross >= 1);
+  (* the engine's registry must survive the SA046 consistency audit *)
+  Alcotest.(check (list string)) "SA046 clean on replay" []
+    (List.map Sanalysis.Diag.to_string
+       (Sanalysis.Serve_audit.run
+          ~cache_entries:(PC.size (E.cache e))
+          (Sobs.Metrics.snapshot (E.metrics e))))
 
 let () =
   Alcotest.run "serve"
@@ -353,7 +446,14 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_protocol_parse;
           Alcotest.test_case "errors" `Quick test_protocol_errors;
+          Alcotest.test_case "observability verbs" `Quick
+            test_protocol_observability_verbs;
           Alcotest.test_case "generator stream" `Quick test_generator_stream;
           Alcotest.test_case "generator replay" `Quick test_generator_replay;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "accounting and SA046" `Quick
+            test_metrics_accounting;
         ] );
     ]
